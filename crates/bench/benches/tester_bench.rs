@@ -1,0 +1,116 @@
+//! F4 — wall-clock benchmarks (Criterion): the running-time claim of
+//! Theorem 3.1 (`√n·poly(log k, 1/ε) + poly(k, 1/ε)`), plus the hot
+//! kernels (alias sampling, Poissonization, the Check DP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use histo_core::dp::{best_kpiece_fit, blocks_from_distribution};
+use histo_core::Distribution;
+use histo_sampling::generators::staircase;
+use histo_sampling::{AliasSampler, DistOracle, SampleOracle};
+use histo_testers::histogram_tester::HistogramTester;
+use histo_testers::Tester;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_full_tester_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tester_vs_n");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let d = staircase(n, 3).unwrap().to_distribution().unwrap();
+        let tester = HistogramTester::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+                tester.test(&mut o, 3, 0.3, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_tester_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tester_vs_k");
+    group.sample_size(10);
+    let n = 4_000;
+    for &k in &[2usize, 4, 8] {
+        let d = staircase(n, k).unwrap().to_distribution().unwrap();
+        let tester = HistogramTester::practical();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+                tester.test(&mut o, k, 0.3, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias_draws");
+    for &n in &[1_000usize, 100_000] {
+        let d = Distribution::uniform(n).unwrap();
+        let sampler = AliasSampler::new(&d);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1_000 {
+                    acc = acc.wrapping_add(sampler.sample(&mut rng));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_poissonization_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poissonized_counts");
+    group.sample_size(20);
+    let n = 10_000;
+    let m = 100_000.0;
+    let d = staircase(n, 4).unwrap().to_distribution().unwrap();
+    group.bench_function("literal", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut o = DistOracle::new(d.clone());
+            o.poissonized_counts(m, &mut rng).total()
+        });
+    });
+    group.bench_function("per_bin_fast", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+            o.poissonized_counts(m, &mut rng).total()
+        });
+    });
+    group.finish();
+}
+
+fn bench_check_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_dp");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    for &b_count in &[500usize, 2_000] {
+        use rand::Rng;
+        let d = Distribution::from_weights((0..b_count).map(|_| rng.gen::<f64>() + 0.01).collect())
+            .unwrap();
+        let blocks = blocks_from_distribution(&d);
+        group.bench_with_input(BenchmarkId::from_parameter(b_count), &b_count, |bch, _| {
+            bch.iter(|| best_kpiece_fit(&blocks, 8).unwrap().l1_cost);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_tester_vs_n,
+    bench_full_tester_vs_k,
+    bench_alias_sampling,
+    bench_poissonization_paths,
+    bench_check_dp
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! A1 — Ablation study of Algorithm 1's stages.
+//!
+//! DESIGN.md calls out three load-bearing design choices; each is
+//! disabled in turn and the damage measured:
+//!
+//! - **no sieve**: breakpoint intervals stay in `G`, poisoning the final
+//!   χ² statistic — completeness on misaligned histograms collapses.
+//! - **no check**: the hypothesis is never compared against `H_k` — a
+//!   many-pieces distribution whose D̂ matches it sails through the χ²
+//!   test and soundness collapses.
+//! - **no A_ε cutoff**: near-zero hypothesis masses enter the statistic
+//!   denominator, inflating its variance on sparse instances.
+
+use histo_bench::{emit, fmt, seed, threads, trials};
+use histo_experiments::acceptance::FixedInstance;
+use histo_experiments::{estimate_acceptance, ExperimentReport, Table};
+use histo_sampling::generators::{geometric, staircase};
+use histo_testers::config::TesterConfig;
+use histo_testers::histogram_tester::{Ablation, HistogramTester};
+
+fn main() {
+    let n = 2_000;
+    let k = 4;
+    let epsilon = 0.12;
+
+    let mut report = ExperimentReport::new(
+        "A1",
+        "ablation: what each stage of Algorithm 1 buys",
+        "DESIGN.md ablation index (sieve §3.2.1, Check step 10, A_eps cutoff of Prop 3.3)",
+        seed(),
+    );
+    report
+        .param("n", n)
+        .param("k", k)
+        .param("epsilon", epsilon)
+        .param("trials", trials());
+
+    // Instances: a genuine member (completeness) and a smooth far
+    // instance whose hypothesis is learnable but far from H_k (this is
+    // what the Check step catches: D̂ tracks D, the chi2 test passes, only
+    // the DP distance to H_k exposes it).
+    let member = staircase(n, k).unwrap().to_distribution().unwrap();
+    let smooth_far = geometric(n, 0.99).unwrap();
+    let far_dist = histo_core::dp::distance_to_hk_bounds(&smooth_far, k)
+        .unwrap()
+        .lower;
+    assert!(
+        far_dist >= epsilon,
+        "ablation instance must be genuinely epsilon-far: {far_dist} < {epsilon}"
+    );
+
+    let variants: [(&str, Ablation); 4] = [
+        ("full algorithm", Ablation::default()),
+        (
+            "no sieve",
+            Ablation {
+                sieve: false,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "no check",
+            Ablation {
+                check: false,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "no A_eps cutoff",
+            Ablation {
+                aeps_cutoff: false,
+                ..Ablation::default()
+            },
+        ),
+    ];
+
+    let mut table = Table::new(
+        "acceptance rates per variant",
+        &["variant", "P[accept | member]", "P[reject | smooth-far]"],
+    );
+    for (name, ablation) in variants {
+        let tester = HistogramTester::new(TesterConfig::practical()).with_ablation(ablation);
+        let comp = estimate_acceptance(
+            &tester,
+            &FixedInstance(member.clone()),
+            k,
+            epsilon,
+            trials(),
+            seed(),
+            threads(),
+        );
+        let sound = estimate_acceptance(
+            &tester,
+            &FixedInstance(smooth_far.clone()),
+            k,
+            epsilon,
+            trials(),
+            seed() ^ 0xABCD,
+            threads(),
+        );
+        table.push_row(vec![name.into(), fmt(comp.rate()), fmt(1.0 - sound.rate())]);
+    }
+    report.table(table);
+    report.param("d_TV(smooth-far, H_k) lower bound", fmt(far_dist));
+    report.note("measured shape: the full algorithm passes both columns; 'no check' collapses soundness below 2/3 on the smooth instance (its learned hypothesis tracks D, so only the H_k comparison can reject); at these parameters 'no sieve' and 'no A_eps' stay correct — the b-granularity already bounds breakpoint-interval mass, and the sieve's protection binds for heavier-tailed hypotheses (see T8)");
+    emit(&report);
+}

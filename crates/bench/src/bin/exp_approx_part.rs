@@ -1,0 +1,118 @@
+//! T7 — ApproxPart guarantees (Proposition 3.4).
+//!
+//! Runs ApproxPart across workloads and parameters and measures the
+//! violation rates of each guarantee: (i) heavy elements isolated,
+//! (ii) non-singleton intervals mass-bounded by 2/b, (iii) interval count
+//! K <= 2b + 2, plus the light-interval census. Shape expectation: (i) and
+//! (ii) violated in <= 10% of runs (the proposition's 9/10), K linear
+//! in b.
+
+use histo_bench::{emit, fmt, seed, trials};
+use histo_core::Distribution;
+use histo_experiments::{ExperimentReport, Table};
+use histo_sampling::DistOracle;
+use histo_testers::approx_part::approx_part;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(name: &str, n: usize) -> Distribution {
+    match name {
+        "uniform" => Distribution::uniform(n).unwrap(),
+        "two-spikes" => {
+            let mut w = vec![1.0; n];
+            w[n / 10] = n as f64 / 5.0;
+            w[n / 2] = n as f64 / 5.0;
+            Distribution::from_weights(w).unwrap()
+        }
+        "zipf" => histo_sampling::generators::zipf(n, 1.0).unwrap(),
+        "staircase" => histo_sampling::generators::staircase(n, 6)
+            .unwrap()
+            .to_distribution()
+            .unwrap(),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let n = 3_000;
+    let reps = (trials() as usize).max(30);
+    let mut rng = StdRng::seed_from_u64(seed());
+
+    let mut report = ExperimentReport::new(
+        "T7",
+        "ApproxPart guarantee violation rates",
+        "Proposition 3.4 / [ADK15, Claim 1]",
+        seed(),
+    );
+    report.param("n", n).param("runs per cell", reps);
+
+    let mut table = Table::new(
+        "per-workload guarantees (fraction of runs violating)",
+        &[
+            "workload",
+            "b",
+            "samples",
+            "K_mean",
+            "K/(2b+2)",
+            "viol(i) heavy",
+            "viol(ii) mass<=2/b",
+            "light intervals (mean)",
+        ],
+    );
+
+    for name in ["uniform", "two-spikes", "zipf", "staircase"] {
+        let d = workload(name, n);
+        for &b in &[10.0f64, 30.0, 90.0] {
+            let samples = (4.0 * b * (b + 2.0_f64).ln() * 4.0).ceil() as u64;
+            let mut viol_heavy = 0usize;
+            let mut viol_mass = 0usize;
+            let mut k_sum = 0.0;
+            let mut light_sum = 0.0;
+            for _ in 0..reps {
+                let mut o = DistOracle::new(d.clone());
+                let out = approx_part(&mut o, b, samples, &mut rng).unwrap();
+                k_sum += out.partition.len() as f64;
+                // (i) every element with D(i) >= 1/b isolated
+                let heavy_ok = (0..n).filter(|&i| d.mass(i) >= 1.0 / b).all(|i| {
+                    out.partition
+                        .interval(out.partition.locate(i))
+                        .is_singleton()
+                });
+                if !heavy_ok {
+                    viol_heavy += 1;
+                }
+                // (ii) non-singleton intervals bounded
+                let mass_ok = out
+                    .partition
+                    .intervals()
+                    .iter()
+                    .filter(|iv| !iv.is_singleton())
+                    .all(|iv| d.interval_mass(iv) <= 2.0 / b);
+                if !mass_ok {
+                    viol_mass += 1;
+                }
+                light_sum += out
+                    .partition
+                    .intervals()
+                    .iter()
+                    .filter(|iv| d.interval_mass(iv) < 1.0 / (2.0 * b))
+                    .count() as f64;
+            }
+            let k_mean = k_sum / reps as f64;
+            table.push_row(vec![
+                name.into(),
+                fmt(b),
+                samples.to_string(),
+                fmt(k_mean),
+                fmt(k_mean / (2.0 * b + 2.0)),
+                fmt(viol_heavy as f64 / reps as f64),
+                fmt(viol_mass as f64 / reps as f64),
+                fmt(light_sum / reps as f64),
+            ]);
+        }
+    }
+    report.table(table);
+    report.note("expected shape: violation rates for (i) and (ii) at or below 0.1; K grows linearly in b with K/(2b+2) <= 1");
+    report.note("documented deviation: the implementation bounds light intervals structurally (adjacent to singletons or trailing) rather than by the paper's 'at most two' — the downstream analysis only uses (i), (ii) and K = O(b)");
+    emit(&report);
+}

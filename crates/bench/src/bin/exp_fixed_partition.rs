@@ -1,0 +1,103 @@
+//! T12 — Testing with a *known* partition (the easier \[DK16\] problem,
+//! Section 1.2).
+//!
+//! Compares the fixed-partition tester (no sieve needed, `O(√n/ε² + k/ε²)`
+//! samples) against the full unknown-partition tester on the same
+//! instances: the price of not knowing the breakpoints. Shape
+//! expectation: both correct; the fixed-partition tester uses a small
+//! fraction of the samples.
+
+use histo_bench::{emit, fmt, seed, threads, trials};
+use histo_core::{KHistogram, Partition};
+use histo_experiments::acceptance::FixedInstance;
+use histo_experiments::{estimate_acceptance, ExperimentReport, Table};
+use histo_testers::config::TesterConfig;
+use histo_testers::fixed_partition::FixedPartitionTester;
+use histo_testers::histogram_tester::HistogramTester;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 4_000;
+    let k = 4;
+    let epsilon = 0.25;
+    let mut rng = StdRng::seed_from_u64(seed());
+
+    let mut report = ExperimentReport::new(
+        "T12",
+        "known vs unknown partition: the price of not knowing the breakpoints",
+        "Section 1.2 discussion of [DK16] (explicit-partition testing is strictly easier)",
+        seed(),
+    );
+    report
+        .param("n", n)
+        .param("k", k)
+        .param("epsilon", epsilon)
+        .param("trials", trials());
+
+    // Ground-truth partition and a conforming member.
+    let partition = Partition::from_starts(n, &[0, 800, 1900, 3100]).unwrap();
+    let member = KHistogram::from_interval_masses(partition.clone(), vec![0.35, 0.15, 0.3, 0.2])
+        .unwrap()
+        .to_distribution()
+        .unwrap();
+
+    // A far instance: sawtooth inside the known pieces (flattening looks
+    // perfect, within-piece structure is wrong).
+    let base = KHistogram::from_distribution(&member).unwrap();
+    let amp = histo_sampling::generators::amplitude_for_certified_distance(&base, k, epsilon)
+        .expect("certifiable")
+        .min(0.9);
+    let far = histo_sampling::generators::sawtooth_perturbation(&base, k, amp, &mut rng).unwrap();
+
+    let fixed = FixedPartitionTester::new(partition, TesterConfig::practical());
+    let full = HistogramTester::practical();
+
+    let mut table = Table::new(
+        "fixed-partition vs full tester",
+        &[
+            "tester",
+            "P[accept|member]",
+            "P[reject|far]",
+            "samples(mean)",
+        ],
+    );
+    for (name, tester) in [
+        (
+            "fixed-partition (DK16 setting)",
+            &fixed as &(dyn histo_testers::Tester + Sync),
+        ),
+        (
+            "full Algorithm 1",
+            &full as &(dyn histo_testers::Tester + Sync),
+        ),
+    ] {
+        let comp = estimate_acceptance(
+            tester,
+            &FixedInstance(member.clone()),
+            k,
+            epsilon,
+            trials(),
+            seed(),
+            threads(),
+        );
+        let sound = estimate_acceptance(
+            tester,
+            &FixedInstance(far.dist.clone()),
+            k,
+            epsilon,
+            trials(),
+            seed() ^ 0xF00D,
+            threads(),
+        );
+        table.push_row(vec![
+            name.into(),
+            fmt(comp.rate()),
+            fmt(1.0 - sound.rate()),
+            fmt((comp.samples.mean() + sound.samples.mean()) / 2.0),
+        ]);
+    }
+    report.table(table);
+    report.note("expected shape: both testers correct; the fixed-partition tester needs a small fraction of the samples (no ApproxPart granularity, no sieve rounds) — quantifying how much of Algorithm 1's budget pays for NOT knowing the partition");
+    emit(&report);
+}

@@ -1,0 +1,73 @@
+//! F1 — The √n/ε² barrier (Proposition 4.1).
+//!
+//! Sweeps the sample size m and measures the distinguishing advantage of
+//! the best-threshold collision statistic (and the Paninski unique-count
+//! statistic) between uniform and a random member of `Q_ε`. Shape
+//! expectation: advantage ≈ 0 for `m ≪ √n/δ²` (δ = cε/2, the members'
+//! actual distance from uniform), rising through the barrier.
+
+use histo_bench::{emit, fmt, seed, trials};
+use histo_experiments::{ExperimentReport, Table};
+use histo_lowerbounds::advantage::{
+    collision_statistic, statistic_advantage, unique_statistic, Fixed,
+};
+use histo_lowerbounds::QEpsilonFamily;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn main() {
+    let n = 2_000;
+    let epsilon = 0.1;
+    let family = QEpsilonFamily::canonical(n, epsilon).unwrap();
+    let delta = family.tv_from_uniform();
+    let barrier = (n as f64).sqrt() / (delta * delta);
+    let mut rng = StdRng::seed_from_u64(seed());
+    let trials_per_side = (trials() as usize).max(100) * 2;
+
+    let mut report = ExperimentReport::new(
+        "F1",
+        "distinguishing advantage vs sample size on the Paninski family",
+        "Proposition 4.1: Omega(sqrt(n)/eps^2) samples are necessary",
+        seed(),
+    );
+    report
+        .param("n", n)
+        .param("epsilon", epsilon)
+        .param("c", family.c())
+        .param("member distance from uniform", fmt(delta))
+        .param("barrier sqrt(n)/delta^2", fmt(barrier))
+        .param("trials per hypothesis", trials_per_side);
+
+    let uniform = Fixed(histo_core::Distribution::uniform(n).unwrap());
+    let fam = family;
+    let members = move |rng: &mut dyn RngCore| fam.sample_member(rng);
+
+    let mut table = Table::new(
+        "best-threshold advantage vs m",
+        &["m", "m/barrier", "collision_advantage", "unique_advantage"],
+    );
+    for &factor in &[0.02f64, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let m = ((factor * barrier) as u64).max(2);
+        let adv_c = statistic_advantage(
+            &uniform,
+            &members,
+            &collision_statistic,
+            m,
+            trials_per_side,
+            &mut rng,
+        );
+        let adv_u = statistic_advantage(
+            &uniform,
+            &members,
+            &unique_statistic,
+            m,
+            trials_per_side,
+            &mut rng,
+        );
+        table.push_row(vec![m.to_string(), fmt(factor), fmt(adv_c), fmt(adv_u)]);
+    }
+    report.table(table);
+    report.note("expected shape: both advantages are ~KS-noise (a few percent) well below the barrier and rise to ~1 above it; crossover within a small constant factor of sqrt(n)/delta^2");
+    report.note("the same family certifies the H_k lower bound: every member is cε/6-far from H_k for k < n/3 (paninski::certified_distance_to_hk)");
+    emit(&report);
+}

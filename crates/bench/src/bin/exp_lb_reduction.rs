@@ -1,0 +1,82 @@
+//! T5 — The support-size reduction end-to-end (Proposition 4.2).
+//!
+//! Lifts the actual Algorithm 1 tester through the Section 4.2 reduction
+//! and measures its success probability on SuppSize_m instances (canonical
+//! and randomized), at the paper's parameters k = 2⌊m/3⌋+1, ε₁ = 1/24,
+//! n = 70m. Shape expectation: both sides solved with probability well
+//! above 1/2 after majority voting — so the tester inherits the
+//! Ω(k/log k) lower bound of \[VV10\].
+
+use histo_bench::{emit, fmt, seed, trials};
+use histo_experiments::{ExperimentReport, Table};
+use histo_lowerbounds::{LiftedTester, SuppSizeInstance};
+use histo_testers::histogram_tester::HistogramTester;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ms = [12usize, 24];
+    let reps = 3; // majority-vote repetitions inside the reduction
+    let decisions = (trials() as usize / 4).max(6);
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(seed());
+
+    let mut report = ExperimentReport::new(
+        "T5",
+        "SuppSize_m solved by the lifted histogram tester",
+        "Proposition 4.2: any H_k tester solves SuppSize_m after permutation lifting",
+        seed(),
+    );
+    report
+        .param("epsilon_1", "1/24")
+        .param("majority repetitions", reps)
+        .param("decisions per cell", decisions);
+
+    let mut table = Table::new(
+        "reduction success rates",
+        &["m", "n=70m", "k", "instance", "correct_rate"],
+    );
+    for &m in &ms {
+        let n = 70 * m;
+        let lifted = LiftedTester::new(&tester, m, n, reps).unwrap();
+        type MakeInstance = Box<dyn Fn(&mut StdRng) -> SuppSizeInstance>;
+        let cells: [(&str, MakeInstance); 4] = [
+            (
+                "low canonical",
+                Box::new(move |_| SuppSizeInstance::low(m).unwrap()),
+            ),
+            (
+                "high canonical",
+                Box::new(move |_| SuppSizeInstance::high(m).unwrap()),
+            ),
+            (
+                "low randomized",
+                Box::new(move |rng| SuppSizeInstance::random(m, true, rng).unwrap()),
+            ),
+            (
+                "high randomized",
+                Box::new(move |rng| SuppSizeInstance::random(m, false, rng).unwrap()),
+            ),
+        ];
+        for (name, make) in &cells {
+            let mut correct = 0usize;
+            for _ in 0..decisions {
+                let inst = make(&mut rng);
+                let said_low = lifted.decide(&inst, &mut rng).unwrap();
+                if said_low == inst.is_low {
+                    correct += 1;
+                }
+            }
+            table.push_row(vec![
+                m.to_string(),
+                n.to_string(),
+                lifted.k.to_string(),
+                (*name).into(),
+                fmt(correct as f64 / decisions as f64),
+            ]);
+        }
+    }
+    report.table(table);
+    report.note("expected shape: correct_rate >= 2/3 on every row — the reduction is constructive, so the tester's sample complexity is lower-bounded by c·k/log k via [VV10, Theorem 1]");
+    emit(&report);
+}

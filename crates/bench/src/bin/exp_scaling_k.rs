@@ -1,0 +1,114 @@
+//! T3 — Sample complexity scaling with k at fixed n (Theorem 1.1,
+//! decoupling).
+//!
+//! The headline structural claim of the paper: the complexity splits into
+//! `√n·polylog/ε²  +  poly(k, 1/ε)` — n and k are *decoupled*, unlike the
+//! `√(kn)` coupling of \[ILR12\]/\[CDGR16\]. At fixed `n`, the measured budget
+//! should grow roughly like `k·polylog(k)` (the second term) once `k` is
+//! large enough to dominate, NOT like `√k` times the n-term.
+
+use histo_bench::{emit, fmt, seed, threads, trials};
+use histo_experiments::acceptance::FixedInstance;
+use histo_experiments::complexity::{minimal_budget, BudgetSearch, InstancePair};
+use histo_experiments::fitting::power_law_fit;
+use histo_experiments::{ExperimentReport, Table};
+use histo_sampling::generators::{sawtooth_perturbation, staircase};
+use histo_testers::config::TesterConfig;
+use histo_testers::histogram_tester::HistogramTester;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 4_000;
+    let epsilon = 0.25;
+    let ks = [1usize, 2, 4, 8, 16];
+    let mut rng = StdRng::seed_from_u64(seed());
+
+    let mut report = ExperimentReport::new(
+        "T3",
+        "minimal sample budget vs k at fixed n",
+        "Theorem 1.1: decoupling — the k-dependence is poly(k) with no sqrt(n k) coupling",
+        seed(),
+    );
+    report
+        .param("n", n)
+        .param("epsilon", epsilon)
+        .param("trials per estimate", trials());
+
+    let mut table = Table::new(
+        "minimal measured samples vs k",
+        &[
+            "k",
+            "scale",
+            "samples",
+            "completeness",
+            "soundness",
+            "sqrt(nk)/eps^2 (coupled ref)",
+        ],
+    );
+    let mut points = vec![];
+    for &k in &ks {
+        let base = staircase(n, k.max(2)).unwrap();
+        // For k = 1 the positive instance is uniform itself.
+        let pos_dist = if k == 1 {
+            histo_core::Distribution::uniform(n).unwrap()
+        } else {
+            base.to_distribution().unwrap()
+        };
+        let pos = FixedInstance(pos_dist);
+        let cert_base = if k == 1 {
+            histo_core::KHistogram::from_distribution(
+                &histo_core::Distribution::uniform(n).unwrap(),
+            )
+            .unwrap()
+        } else {
+            base
+        };
+        let amp =
+            histo_sampling::generators::amplitude_for_certified_distance(&cert_base, k, epsilon)
+                .expect("certifiable")
+                .min(0.95);
+        let far = sawtooth_perturbation(&cert_base, k, amp, &mut rng).unwrap();
+        let neg = FixedInstance(far.dist);
+        let pair = InstancePair {
+            positive: &pos,
+            negative: &neg,
+        };
+        let search = BudgetSearch {
+            trials: trials(),
+            threads: threads(),
+            seed: seed() ^ (k as u64) << 8,
+            bisection_steps: 4,
+            ..Default::default()
+        };
+        let result = minimal_budget(
+            |scale| HistogramTester::new(TesterConfig::practical().scaled(scale)),
+            &pair,
+            k,
+            epsilon,
+            &search,
+        );
+        let coupled_ref = ((n * k) as f64).sqrt() / (epsilon * epsilon);
+        table.push_row(vec![
+            k.to_string(),
+            result.scale.map(fmt).unwrap_or_else(|| "-".into()),
+            fmt(result.mean_samples),
+            fmt(result.completeness),
+            fmt(result.soundness),
+            fmt(coupled_ref),
+        ]);
+        if result.scale.is_some() && k >= 2 {
+            points.push((k as f64, result.mean_samples));
+        }
+    }
+    report.table(table);
+    if points.len() >= 3 {
+        let (a, _, r2) = power_law_fit(&points);
+        report.note(format!(
+            "exponent of samples vs k (k >= 2): {a:.3} (r2 = {r2:.3}); \
+             sqrt(kn)-coupled baselines would show 0.5 on top of a large n-bound floor, \
+             the decoupled bound grows ~ k polylog k once the k-term dominates"
+        ));
+    }
+    emit(&report);
+}

@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! # histo-bench
+//!
+//! The benchmark harness: one `exp_*` binary per experiment in
+//! EXPERIMENTS.md (run them all with `scripts/run_experiments.sh` or
+//! individually with `cargo run --release -p histo-bench --bin exp_...`),
+//! plus Criterion wall-clock benches (`cargo bench -p histo-bench`).
+//!
+//! Every binary prints its [`histo_experiments::ExperimentReport`] as text
+//! and writes the JSON artifact under `results/` at the workspace root.
+//! Trial counts scale with the `FEWBINS_TRIALS` environment variable
+//! (default 40) so CI can run a cheap pass and EXPERIMENTS.md a thorough
+//! one.
+
+use std::path::PathBuf;
+
+/// Number of trials per estimation, from `FEWBINS_TRIALS` (default 40).
+pub fn trials() -> u64 {
+    std::env::var("FEWBINS_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Worker threads, from `FEWBINS_THREADS` (default: available parallelism).
+pub fn threads() -> usize {
+    std::env::var("FEWBINS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+}
+
+/// The shared RNG seed, from `FEWBINS_SEED` (default 160 — the ECCC report
+/// number).
+pub fn seed() -> u64 {
+    std::env::var("FEWBINS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160)
+}
+
+/// `results/` at the workspace root (created on demand by report writers).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
+    let raw = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    raw.canonicalize().unwrap_or(raw).join("results")
+}
+
+/// Prints a report and writes its JSON artifact; the standard epilogue of
+/// every `exp_*` binary.
+pub fn emit(report: &histo_experiments::ExperimentReport) {
+    println!("{}", report.render_text());
+    match report.write_json(&results_dir()) {
+        Ok(path) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[artifact] write failed: {e}"),
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_have_defaults() {
+        assert!(trials() >= 1);
+        assert!(threads() >= 1);
+        let _ = seed();
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn results_dir_points_into_workspace() {
+        let d = results_dir();
+        assert!(d.to_string_lossy().contains("results"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Distances and divergences between distributions.
+//!
+//! The paper uses two metrics (Section 2): total variation
+//! `d_TV(D1, D2) = ½‖D1 − D2‖₁` and the asymmetric chi-square divergence
+//! `dχ²(D1 ‖ D2) = Σᵢ (D1(i) − D2(i))² / D2(i)`. Footnote 6 defines their
+//! restrictions to a sub-domain (an interval or union of intervals), used by
+//! the sieved tester: `d^I_χ²` and `d^I_TV` sum only over `i ∈ I` with no
+//! renormalization. All of those live here, over both dense distributions
+//! and succinct histograms.
+
+use crate::dist::Distribution;
+use crate::error::HistoError;
+use crate::histogram::KHistogram;
+use crate::interval::Interval;
+use crate::Result;
+
+fn check_domains(a: usize, b: usize) -> Result<()> {
+    if a != b {
+        return Err(HistoError::DomainMismatch { left: a, right: b });
+    }
+    Ok(())
+}
+
+/// `ℓ1` distance `‖D1 − D2‖₁ = Σᵢ |D1(i) − D2(i)|`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn l1(d1: &Distribution, d2: &Distribution) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    Ok(d1
+        .pmf()
+        .iter()
+        .zip(d2.pmf())
+        .map(|(&a, &b)| (a - b).abs())
+        .sum())
+}
+
+/// Total variation distance `½‖D1 − D2‖₁`, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn total_variation(d1: &Distribution, d2: &Distribution) -> Result<f64> {
+    Ok(l1(d1, d2)? / 2.0)
+}
+
+/// Squared `ℓ2` distance `‖D1 − D2‖₂² = Σᵢ (D1(i) − D2(i))²`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn l2_squared(d1: &Distribution, d2: &Distribution) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    Ok(d1
+        .pmf()
+        .iter()
+        .zip(d2.pmf())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum())
+}
+
+/// Asymmetric chi-square divergence `dχ²(D1 ‖ D2) = Σᵢ (D1(i)−D2(i))²/D2(i)`.
+///
+/// Indices where `D2(i) = 0` contribute 0 if `D1(i) = 0` and `+∞` otherwise
+/// (the divergence is infinite when `D1` is not absolutely continuous
+/// w.r.t. `D2`).
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn chi_square(d1: &Distribution, d2: &Distribution) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    let mut total = 0.0;
+    for (&a, &b) in d1.pmf().iter().zip(d2.pmf()) {
+        if b == 0.0 {
+            if a != 0.0 {
+                return Ok(f64::INFINITY);
+            }
+        } else {
+            let diff = a - b;
+            total += diff * diff / b;
+        }
+    }
+    Ok(total)
+}
+
+/// Kullback–Leibler divergence `KL(D1 ‖ D2) = Σᵢ D1(i) ln(D1(i)/D2(i))`,
+/// in nats; infinite when `D1` is not absolutely continuous w.r.t. `D2`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn kl_divergence(d1: &Distribution, d2: &Distribution) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    let mut total = 0.0;
+    for (&a, &b) in d1.pmf().iter().zip(d2.pmf()) {
+        if a == 0.0 {
+            continue;
+        }
+        if b == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        total += a * (a / b).ln();
+    }
+    Ok(total.max(0.0))
+}
+
+/// Restricted total variation over a set of intervals (footnote 6):
+/// `d^G_TV(D1, D2) = ½ Σ_{i∈G} |D1(i) − D2(i)|`, where `G` is the union of
+/// `intervals`. No renormalization is applied; the sub-distributions need
+/// not sum to the same value on `G`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] on domain mismatch or
+/// [`HistoError::InvalidInterval`] if any interval exceeds the domain.
+pub fn restricted_tv(d1: &Distribution, d2: &Distribution, intervals: &[Interval]) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    let mut total = 0.0;
+    for iv in intervals {
+        if iv.hi() > d1.n() {
+            return Err(HistoError::InvalidInterval {
+                lo: iv.lo(),
+                hi: iv.hi(),
+                n: d1.n(),
+            });
+        }
+        for i in iv.indices() {
+            total += (d1.mass(i) - d2.mass(i)).abs();
+        }
+    }
+    Ok(total / 2.0)
+}
+
+/// Restricted chi-square over a set of intervals (footnote 6):
+/// `d^G_χ²(D1 ‖ D2) = Σ_{i∈G} (D1(i) − D2(i))² / D2(i)`.
+///
+/// # Errors
+///
+/// As for [`restricted_tv`].
+pub fn restricted_chi_square(
+    d1: &Distribution,
+    d2: &Distribution,
+    intervals: &[Interval],
+) -> Result<f64> {
+    check_domains(d1.n(), d2.n())?;
+    let mut total = 0.0;
+    for iv in intervals {
+        if iv.hi() > d1.n() {
+            return Err(HistoError::InvalidInterval {
+                lo: iv.lo(),
+                hi: iv.hi(),
+                n: d1.n(),
+            });
+        }
+        for i in iv.indices() {
+            let b = d2.mass(i);
+            let a = d1.mass(i);
+            if b == 0.0 {
+                if a != 0.0 {
+                    return Ok(f64::INFINITY);
+                }
+            } else {
+                let diff = a - b;
+                total += diff * diff / b;
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Total variation between a dense distribution and a succinct histogram,
+/// computed in `O(n)` without materializing the histogram.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if the domains differ.
+pub fn tv_to_histogram(d: &Distribution, h: &KHistogram) -> Result<f64> {
+    check_domains(d.n(), h.n())?;
+    let mut total = 0.0;
+    for (j, iv) in h.partition().intervals().iter().enumerate() {
+        let level = h.levels()[j];
+        for i in iv.indices() {
+            total += (d.mass(i) - level).abs();
+        }
+    }
+    Ok(total / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Partition;
+
+    fn d(v: &[f64]) -> Distribution {
+        Distribution::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn tv_basics() {
+        let a = d(&[0.5, 0.5, 0.0]);
+        let b = d(&[0.0, 0.5, 0.5]);
+        assert!((total_variation(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&a, &a).unwrap(), 0.0);
+        // Disjoint supports => TV = 1.
+        let p = d(&[1.0, 0.0]);
+        let q = d(&[0.0, 1.0]);
+        assert!((total_variation(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_equals_max_event_gap() {
+        // d_TV = max_S (D1(S) - D2(S)); verify on a small example by brute
+        // force over all 2^n events.
+        let a = d(&[0.4, 0.1, 0.3, 0.2]);
+        let b = d(&[0.25, 0.25, 0.25, 0.25]);
+        let tv = total_variation(&a, &b).unwrap();
+        let mut best = 0.0_f64;
+        for mask in 0u32..16 {
+            let (mut pa, mut pb) = (0.0, 0.0);
+            for i in 0..4 {
+                if mask & (1 << i) != 0 {
+                    pa += a.mass(i);
+                    pb += b.mass(i);
+                }
+            }
+            best = best.max(pa - pb);
+        }
+        assert!((tv - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_and_symmetry() {
+        let a = d(&[0.2, 0.3, 0.5]);
+        let b = d(&[0.3, 0.3, 0.4]);
+        let c = d(&[0.6, 0.2, 0.2]);
+        let ab = total_variation(&a, &b).unwrap();
+        let bc = total_variation(&b, &c).unwrap();
+        let ac = total_variation(&a, &c).unwrap();
+        assert!(ac <= ab + bc + 1e-12);
+        assert!((ab - total_variation(&b, &a).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chi_square_asymmetric_and_dominates_tv() {
+        let a = d(&[0.3, 0.7]);
+        let b = d(&[0.5, 0.5]);
+        let fwd = chi_square(&a, &b).unwrap();
+        let bwd = chi_square(&b, &a).unwrap();
+        assert!(fwd != bwd, "chi-square should be asymmetric");
+        // Cauchy-Schwarz: 4 d_TV^2 <= chi^2 (standard inequality
+        // d_TV <= sqrt(chi2)/2).
+        let tv = total_variation(&a, &b).unwrap();
+        assert!(4.0 * tv * tv <= fwd + 1e-12);
+    }
+
+    #[test]
+    fn chi_square_infinite_off_support() {
+        let a = d(&[0.5, 0.5]);
+        let b = d(&[1.0, 0.0]);
+        assert_eq!(chi_square(&a, &b).unwrap(), f64::INFINITY);
+        assert!(chi_square(&b, &a).unwrap().is_finite());
+        // Matching zeros contribute nothing.
+        let c = d(&[1.0, 0.0]);
+        assert_eq!(chi_square(&b, &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let a = d(&[0.3, 0.7]);
+        let b = d(&[0.5, 0.5]);
+        assert!(kl_divergence(&a, &a).unwrap().abs() < 1e-12);
+        assert!(kl_divergence(&a, &b).unwrap() > 0.0);
+        let c = d(&[1.0, 0.0]);
+        assert_eq!(kl_divergence(&a, &c).unwrap(), f64::INFINITY);
+        // Pinsker: TV <= sqrt(KL/2).
+        let tv = total_variation(&a, &b).unwrap();
+        assert!(tv <= (kl_divergence(&a, &b).unwrap() / 2.0).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn restricted_tv_sums_only_selected() {
+        let a = d(&[0.4, 0.1, 0.3, 0.2]);
+        let b = d(&[0.25, 0.25, 0.25, 0.25]);
+        let full = total_variation(&a, &b).unwrap();
+        let all = Interval::new(0, 4).unwrap();
+        assert!((restricted_tv(&a, &b, &[all]).unwrap() - full).abs() < 1e-12);
+        let part = Interval::new(0, 2).unwrap();
+        let expect = ((0.4 - 0.25f64).abs() + (0.1 - 0.25f64).abs()) / 2.0;
+        assert!((restricted_tv(&a, &b, &[part]).unwrap() - expect).abs() < 1e-12);
+        // Splitting the domain into pieces adds up.
+        let left = Interval::new(0, 2).unwrap();
+        let right = Interval::new(2, 4).unwrap();
+        let sum = restricted_tv(&a, &b, &[left, right]).unwrap();
+        assert!((sum - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_chi_square_matches_full_on_whole_domain() {
+        let a = d(&[0.4, 0.1, 0.3, 0.2]);
+        let b = d(&[0.25, 0.25, 0.25, 0.25]);
+        let all = Interval::new(0, 4).unwrap();
+        let full = chi_square(&a, &b).unwrap();
+        let restricted = restricted_chi_square(&a, &b, &[all]).unwrap();
+        assert!((full - restricted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_rejects_bad_interval() {
+        let a = d(&[0.5, 0.5]);
+        let bad = Interval::new(1, 3).unwrap();
+        assert!(restricted_tv(&a, &a, &[bad]).is_err());
+    }
+
+    #[test]
+    fn tv_to_histogram_matches_dense() {
+        let a = d(&[0.4, 0.1, 0.3, 0.2]);
+        let p = Partition::from_starts(4, &[0, 2]).unwrap();
+        let h = KHistogram::from_interval_masses(p, vec![0.5, 0.5]).unwrap();
+        let dense = h.to_distribution().unwrap();
+        let via_hist = tv_to_histogram(&a, &h).unwrap();
+        let via_dense = total_variation(&a, &dense).unwrap();
+        assert!((via_hist - via_dense).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_mismatch_is_an_error() {
+        let a = d(&[0.5, 0.5]);
+        let b = d(&[1.0]);
+        assert!(total_variation(&a, &b).is_err());
+        assert!(chi_square(&a, &b).is_err());
+        assert!(kl_divergence(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Empirical distributions and sample-count utilities.
+
+use crate::dist::Distribution;
+use crate::error::HistoError;
+use crate::interval::Partition;
+use crate::Result;
+
+/// Per-element occurrence counts of a multiset of samples from `\[n\]` — the
+/// `N_i` of Proposition 3.3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleCounts {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SampleCounts {
+    /// Tallies samples (0-based domain indices) over a domain of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::EmptyDomain`] if `n == 0`, or
+    /// [`HistoError::InvalidParameter`] if a sample lies outside `0..n`.
+    pub fn tally(n: usize, samples: &[usize]) -> Result<Self> {
+        if n == 0 {
+            return Err(HistoError::EmptyDomain);
+        }
+        let mut counts = vec![0u64; n];
+        for &s in samples {
+            if s >= n {
+                return Err(HistoError::InvalidParameter {
+                    name: "samples",
+                    reason: format!("sample {s} outside domain 0..{n}"),
+                });
+            }
+            counts[s] += 1;
+        }
+        Ok(Self {
+            total: samples.len() as u64,
+            counts,
+        })
+    }
+
+    /// Wraps precomputed counts (e.g. drawn Poissonized, one
+    /// `N_i ~ Poisson(m·D(i))` per element).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::EmptyDomain`] on an empty vector.
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(HistoError::EmptyDomain);
+        }
+        let total = counts.iter().sum();
+        Ok(Self { counts, total })
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of element `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples tallied.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of counts over interval `j` of `partition` — the `m_{I_j}` of
+    /// Lemma 3.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::DomainMismatch`] if the partition covers a
+    /// different domain.
+    pub fn interval_counts(&self, partition: &Partition) -> Result<Vec<u64>> {
+        if partition.n() != self.n() {
+            return Err(HistoError::DomainMismatch {
+                left: self.n(),
+                right: partition.n(),
+            });
+        }
+        Ok(partition
+            .intervals()
+            .iter()
+            .map(|iv| self.counts[iv.lo()..iv.hi()].iter().sum())
+            .collect())
+    }
+
+    /// The empirical (plug-in) distribution `N_i / m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::NotNormalized`] when no samples were tallied.
+    pub fn empirical(&self) -> Result<Distribution> {
+        Distribution::from_weights(self.counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Number of elements seen at least once.
+    pub fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of pairwise collisions `Σᵢ C(Nᵢ, 2)` — the statistic of the
+    /// collision-based uniformity tester.
+    pub fn collisions(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|&c| c * c.saturating_sub(1) / 2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_correctly() {
+        let c = SampleCounts::tally(4, &[0, 1, 1, 3, 3, 3]).unwrap();
+        assert_eq!(c.counts(), &[1, 2, 0, 3]);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.distinct(), 3);
+        assert!(SampleCounts::tally(4, &[4]).is_err());
+        assert!(SampleCounts::tally(0, &[]).is_err());
+    }
+
+    #[test]
+    fn empirical_normalizes() {
+        let c = SampleCounts::tally(3, &[0, 0, 2, 2]).unwrap();
+        let e = c.empirical().unwrap();
+        assert!((e.mass(0) - 0.5).abs() < 1e-12);
+        assert_eq!(e.mass(1), 0.0);
+        let empty = SampleCounts::tally(3, &[]).unwrap();
+        assert!(empty.empirical().is_err());
+    }
+
+    #[test]
+    fn interval_counts_sum() {
+        let c = SampleCounts::tally(6, &[0, 1, 2, 3, 4, 5, 5]).unwrap();
+        let p = Partition::from_starts(6, &[0, 3]).unwrap();
+        assert_eq!(c.interval_counts(&p).unwrap(), vec![3, 4]);
+        let wrong = Partition::trivial(4).unwrap();
+        assert!(c.interval_counts(&wrong).is_err());
+    }
+
+    #[test]
+    fn collision_counting() {
+        // counts 3, 2, 0 => C(3,2) + C(2,2) = 3 + 1.
+        let c = SampleCounts::tally(3, &[0, 0, 0, 1, 1]).unwrap();
+        assert_eq!(c.collisions(), 4);
+        let single = SampleCounts::tally(3, &[1]).unwrap();
+        assert_eq!(single.collisions(), 0);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let c = SampleCounts::from_counts(vec![5, 0, 2]).unwrap();
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.count(0), 5);
+        assert!(SampleCounts::from_counts(vec![]).is_err());
+    }
+}

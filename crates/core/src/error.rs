@@ -1,0 +1,107 @@
+//! Error type shared by the `few-bins` workspace.
+
+use std::fmt;
+
+/// Errors raised by validated constructors and algorithms in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoError {
+    /// The domain size was zero (distributions over `\[0\]` are meaningless).
+    EmptyDomain,
+    /// A probability mass was negative or not finite.
+    InvalidMass {
+        /// 0-based domain index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The masses did not sum to 1 within [`crate::MASS_TOLERANCE`].
+    NotNormalized {
+        /// The actual total mass.
+        total: f64,
+    },
+    /// An interval was empty or out of the domain's bounds.
+    InvalidInterval {
+        /// Start (inclusive, 0-based).
+        lo: usize,
+        /// End (exclusive).
+        hi: usize,
+        /// Domain size.
+        n: usize,
+    },
+    /// A collection of intervals was not a partition of the domain
+    /// (gap, overlap, or wrong coverage).
+    NotAPartition {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A parameter was outside its documented range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Two objects that must share a domain had different sizes.
+    DomainMismatch {
+        /// First domain size.
+        left: usize,
+        /// Second domain size.
+        right: usize,
+    },
+}
+
+impl fmt::Display for HistoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoError::EmptyDomain => write!(f, "domain size must be at least 1"),
+            HistoError::InvalidMass { index, value } => {
+                write!(f, "mass at index {index} is invalid: {value}")
+            }
+            HistoError::NotNormalized { total } => {
+                write!(f, "masses sum to {total}, expected 1")
+            }
+            HistoError::InvalidInterval { lo, hi, n } => {
+                write!(f, "interval [{lo}, {hi}) invalid for domain size {n}")
+            }
+            HistoError::NotAPartition { reason } => {
+                write!(f, "intervals do not form a partition: {reason}")
+            }
+            HistoError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            HistoError::DomainMismatch { left, right } => {
+                write!(f, "domain sizes differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HistoError::NotNormalized { total: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+        let e = HistoError::InvalidInterval {
+            lo: 3,
+            hi: 2,
+            n: 10,
+        };
+        assert!(e.to_string().contains("[3, 2)"));
+        let e = HistoError::InvalidParameter {
+            name: "epsilon",
+            reason: "must be in (0,1]".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HistoError::EmptyDomain);
+    }
+}

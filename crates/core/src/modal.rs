@@ -1,0 +1,536 @@
+//! k-modal distributions: mode counting and `ℓ1` regression onto monotone /
+//! k-modal shapes.
+//!
+//! Section 1.2 of the paper remarks that the lower bound of Theorem 1.2
+//! extends to *k-modal* distributions — those whose pmf changes direction
+//! ("up and down or down and up") at most `k` times. Experiment T11
+//! validates that remark empirically: members of the Paninski family have
+//! `~n/2` direction changes and are far (as functions) from every k-modal
+//! shape. This module supplies the exact machinery:
+//!
+//! - [`direction_changes`] / [`is_k_modal`] — counting monotonicity
+//!   reversals, ignoring flat runs.
+//! - [`isotonic_l1`] — optimal `ℓ1` isotonic (non-decreasing) regression via
+//!   the pool-adjacent-violators algorithm with median blocks.
+//! - [`min_l1_to_kmodal`] — exact brute-force minimal `ℓ1` distance to any
+//!   function with at most `k` direction changes (small inputs only).
+//! - [`weighted_isotonic_l1`] / [`min_weighted_l1_to_kmodal`] — the
+//!   weighted generalizations operating on `(value, weight)` blocks, so
+//!   block-constant targets are handled at block resolution; and
+//!   [`tv_to_kmodal_lower`], the k-modal analogue of the certified
+//!   distance-to-`H_k` lower bound.
+
+use crate::dist::Distribution;
+use crate::error::HistoError;
+use crate::Result;
+
+/// Number of direction changes of the sequence: transitions from a strictly
+/// rising stretch to a strictly falling one or vice versa, with flat runs
+/// ignored. A monotone (or constant) sequence has 0; a unimodal "up then
+/// down" sequence has 1.
+pub fn direction_changes(values: &[f64]) -> usize {
+    let mut changes = 0usize;
+    let mut last_dir = 0i8; // -1 falling, +1 rising, 0 unknown yet
+    for w in values.windows(2) {
+        let dir = match w[1].partial_cmp(&w[0]) {
+            Some(std::cmp::Ordering::Greater) => 1i8,
+            Some(std::cmp::Ordering::Less) => -1i8,
+            _ => 0i8,
+        };
+        if dir == 0 {
+            continue;
+        }
+        if last_dir != 0 && dir != last_dir {
+            changes += 1;
+        }
+        last_dir = dir;
+    }
+    changes
+}
+
+/// Whether the distribution's pmf has at most `k` direction changes.
+pub fn is_k_modal(d: &Distribution, k: usize) -> bool {
+    direction_changes(d.pmf()) <= k
+}
+
+/// Optimal `ℓ1` isotonic regression: the non-decreasing sequence `g`
+/// minimizing `Σᵢ |values\[i\] − g\[i\]|`, returned together with its cost.
+///
+/// Pool-adjacent-violators with per-block medians: maintain blocks, each
+/// holding the multiset of its values and fitted to the block median; merge
+/// adjacent blocks while their fitted values violate monotonicity. This is
+/// the classical exact algorithm for `ℓ1` isotonic regression.
+pub fn isotonic_l1(values: &[f64]) -> (Vec<f64>, f64) {
+    #[derive(Clone)]
+    struct PavaBlock {
+        sorted: Vec<f64>, // values of the block, sorted
+        len: usize,
+    }
+    impl PavaBlock {
+        fn median(&self) -> f64 {
+            self.sorted[(self.len - 1) / 2]
+        }
+        fn cost(&self) -> f64 {
+            let m = self.median();
+            self.sorted.iter().map(|&v| (v - m).abs()).sum()
+        }
+        fn merge(&mut self, other: &PavaBlock) {
+            let mut merged = Vec::with_capacity(self.len + other.len);
+            let (mut i, mut j) = (0, 0);
+            while i < self.len && j < other.len {
+                if self.sorted[i] <= other.sorted[j] {
+                    merged.push(self.sorted[i]);
+                    i += 1;
+                } else {
+                    merged.push(other.sorted[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&self.sorted[i..]);
+            merged.extend_from_slice(&other.sorted[j..]);
+            self.len += other.len;
+            self.sorted = merged;
+        }
+    }
+
+    let mut blocks: Vec<PavaBlock> = Vec::with_capacity(values.len());
+    for &v in values {
+        blocks.push(PavaBlock {
+            sorted: vec![v],
+            len: 1,
+        });
+        // Merge while monotonicity is violated.
+        while blocks.len() >= 2 {
+            let last = blocks.len() - 1;
+            if blocks[last - 1].median() > blocks[last].median() {
+                let top = blocks.pop().expect("len >= 2");
+                blocks.last_mut().expect("len >= 1").merge(&top);
+            } else {
+                break;
+            }
+        }
+    }
+    let mut fitted = Vec::with_capacity(values.len());
+    let mut cost = 0.0;
+    for b in &blocks {
+        let m = b.median();
+        cost += b.cost();
+        fitted.extend(std::iter::repeat_n(m, b.len));
+    }
+    (fitted, cost)
+}
+
+/// Optimal `ℓ1` antitonic (non-increasing) regression, by reversing.
+pub fn antitonic_l1(values: &[f64]) -> (Vec<f64>, f64) {
+    let rev: Vec<f64> = values.iter().rev().copied().collect();
+    let (mut fit, cost) = isotonic_l1(&rev);
+    fit.reverse();
+    (fit, cost)
+}
+
+/// Exact minimal `ℓ1` distance from `values` to any *function* with at most
+/// `k` direction changes, by dynamic programming over segment boundaries
+/// and alternating orientations, with optimal monotone fits per segment.
+///
+/// A k-direction-change function is a concatenation of `k+1` monotone
+/// stretches of alternating orientation (no continuity constraint across
+/// boundaries). Since `H`-style normalization is not imposed, half this
+/// value lower-bounds the TV distance to k-modal *distributions*.
+///
+/// Cost is `O(k · n³ log n)` — use on small inputs (tests, experiment T11).
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] on empty input.
+pub fn min_l1_to_kmodal(values: &[f64], k: usize) -> Result<f64> {
+    if values.is_empty() {
+        return Err(HistoError::InvalidParameter {
+            name: "values",
+            reason: "empty input".into(),
+        });
+    }
+    let n = values.len();
+    // seg_iso[a][b], seg_anti[a][b]: optimal monotone cost on values[a..=b].
+    let mut seg_iso = vec![vec![0.0_f64; n]; n];
+    let mut seg_anti = vec![vec![0.0_f64; n]; n];
+    for a in 0..n {
+        for b in a..n {
+            seg_iso[a][b] = isotonic_l1(&values[a..=b]).1;
+            seg_anti[a][b] = antitonic_l1(&values[a..=b]).1;
+        }
+    }
+    // dp[s][e][dir]: best cost covering 0..=e with s+1 monotone segments,
+    // the last having orientation dir (0 = iso, 1 = anti). Orientations
+    // must alternate.
+    let segs = k + 1;
+    let inf = f64::INFINITY;
+    let mut dp = vec![[inf; 2]; n];
+    for e in 0..n {
+        dp[e][0] = seg_iso[0][e];
+        dp[e][1] = seg_anti[0][e];
+    }
+    let mut best = dp[n - 1][0].min(dp[n - 1][1]);
+    for _s in 1..segs {
+        let mut next = vec![[inf; 2]; n];
+        for e in 0..n {
+            for start in 1..=e {
+                // last segment start..=e, previous orientation must differ
+                let iso_cand = dp[start - 1][1] + seg_iso[start][e];
+                if iso_cand < next[e][0] {
+                    next[e][0] = iso_cand;
+                }
+                let anti_cand = dp[start - 1][0] + seg_anti[start][e];
+                if anti_cand < next[e][1] {
+                    next[e][1] = anti_cand;
+                }
+            }
+        }
+        dp = next;
+        best = best.min(dp[n - 1][0].min(dp[n - 1][1]));
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_change_counting() {
+        assert_eq!(direction_changes(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(direction_changes(&[3.0, 2.0, 1.0]), 0);
+        assert_eq!(direction_changes(&[1.0, 1.0, 1.0]), 0);
+        assert_eq!(direction_changes(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(direction_changes(&[1.0, 3.0, 3.0, 2.0]), 1); // flat run ignored
+        assert_eq!(direction_changes(&[1.0, 3.0, 2.0, 4.0, 1.0]), 3);
+        assert_eq!(direction_changes(&[1.0]), 0);
+        assert_eq!(direction_changes(&[]), 0);
+    }
+
+    #[test]
+    fn k_modal_classification() {
+        let unimodal = Distribution::from_weights(vec![1.0, 2.0, 5.0, 3.0, 1.0]).unwrap();
+        assert!(is_k_modal(&unimodal, 1));
+        // Strictly monotone counts as 0-modal in the direction-change sense.
+        let mono = Distribution::from_weights(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(is_k_modal(&mono, 0));
+        let zigzag = Distribution::from_weights(vec![1.0, 3.0, 1.0, 3.0, 1.0]).unwrap();
+        assert!(!is_k_modal(&zigzag, 2));
+        assert!(is_k_modal(&zigzag, 3));
+    }
+
+    #[test]
+    fn isotonic_on_sorted_input_is_free() {
+        let v = [1.0, 2.0, 2.0, 5.0];
+        let (fit, cost) = isotonic_l1(&v);
+        assert_eq!(cost, 0.0);
+        assert_eq!(fit, v.to_vec());
+    }
+
+    #[test]
+    fn isotonic_pools_violators() {
+        // [3, 1]: optimal non-decreasing fit is [m, m] with m the median of
+        // {1, 3}; cost |3-m| + |1-m| = 2 for any m in [1,3].
+        let (fit, cost) = isotonic_l1(&[3.0, 1.0]);
+        assert!((cost - 2.0).abs() < 1e-12);
+        assert!(fit[0] <= fit[1] + 1e-15);
+    }
+
+    #[test]
+    fn isotonic_matches_bruteforce_grid() {
+        // Brute force over a fine level grid on a small instance.
+        let v = [2.0, 0.0, 3.0, 1.0, 1.0];
+        let (_, cost) = isotonic_l1(&v);
+        let grid: Vec<f64> = (0..=30).map(|i| i as f64 * 0.1).collect();
+        let mut best = f64::INFINITY;
+        // enumerate non-decreasing g over grid by DP
+        let mut dp = vec![f64::INFINITY; grid.len()];
+        for (gi, &g) in grid.iter().enumerate() {
+            dp[gi] = (v[0] - g).abs();
+        }
+        for &x in &v[1..] {
+            let mut next = vec![f64::INFINITY; grid.len()];
+            let mut run_min = f64::INFINITY;
+            for (gi, &g) in grid.iter().enumerate() {
+                run_min = run_min.min(dp[gi]);
+                next[gi] = run_min + (x - g).abs();
+            }
+            dp = next;
+        }
+        for &c in &dp {
+            best = best.min(c);
+        }
+        assert!((cost - best).abs() < 1e-9, "pava {cost} vs grid {best}");
+    }
+
+    #[test]
+    fn isotonic_fit_is_monotone() {
+        let v = [5.0, 1.0, 4.0, 2.0, 8.0, 0.0];
+        let (fit, _) = isotonic_l1(&v);
+        assert!(fit.windows(2).all(|w| w[0] <= w[1] + 1e-15));
+        let (afit, _) = antitonic_l1(&v);
+        assert!(afit.windows(2).all(|w| w[0] + 1e-15 >= w[1]));
+    }
+
+    #[test]
+    fn kmodal_distance_zero_for_conforming_shapes() {
+        // Unimodal data is free for k >= 1.
+        let v = [1.0, 2.0, 5.0, 3.0, 1.0];
+        assert!(min_l1_to_kmodal(&v, 1).unwrap() < 1e-12);
+        // Monotone data is free even for k = 0.
+        let m = [1.0, 2.0, 3.0];
+        assert!(min_l1_to_kmodal(&m, 0).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn kmodal_distance_positive_for_zigzag() {
+        let v = [1.0, 3.0, 1.0, 3.0, 1.0, 3.0];
+        let d0 = min_l1_to_kmodal(&v, 0).unwrap();
+        let d1 = min_l1_to_kmodal(&v, 1).unwrap();
+        let d4 = min_l1_to_kmodal(&v, 4).unwrap();
+        assert!(d0 >= d1 && d1 > 0.0);
+        assert!(d4 < 1e-12, "the zigzag has 4 direction changes: {d4}");
+        assert!(min_l1_to_kmodal(&v, 3).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn kmodal_distance_monotone_in_k() {
+        let v = [2.0, 0.0, 3.0, 1.0, 4.0, 0.0, 2.0];
+        let mut prev = f64::INFINITY;
+        for k in 0..6 {
+            let d = min_l1_to_kmodal(&v, k).unwrap();
+            assert!(d <= prev + 1e-12);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn kmodal_errors_on_empty() {
+        assert!(min_l1_to_kmodal(&[], 1).is_err());
+    }
+}
+
+/// Weighted `ℓ1` isotonic regression: the non-decreasing `g` minimizing
+/// `Σᵢ wᵢ·|vᵢ − gᵢ|`, via pool-adjacent-violators with weighted-median
+/// blocks. Zero-weight entries are fitted for free (they join whatever
+/// block contains them). Returns `(fitted values, cost)`.
+pub fn weighted_isotonic_l1(pairs: &[(f64, f64)]) -> (Vec<f64>, f64) {
+    #[derive(Clone)]
+    struct WBlock {
+        // (value, weight) sorted by value
+        members: Vec<(f64, f64)>,
+        len: usize,
+    }
+    impl WBlock {
+        fn median(&self) -> f64 {
+            let total: f64 = self.members.iter().map(|m| m.1).sum();
+            if total <= 0.0 {
+                // all weights zero: any value; take the middle member
+                return self.members[(self.members.len() - 1) / 2].0;
+            }
+            let mut acc = 0.0;
+            for &(v, w) in &self.members {
+                acc += w;
+                if 2.0 * acc >= total {
+                    return v;
+                }
+            }
+            self.members.last().expect("non-empty").0
+        }
+        fn cost(&self) -> f64 {
+            let m = self.median();
+            self.members.iter().map(|&(v, w)| w * (v - m).abs()).sum()
+        }
+        fn merge(&mut self, other: &WBlock) {
+            let mut merged = Vec::with_capacity(self.members.len() + other.members.len());
+            let (mut i, mut j) = (0, 0);
+            while i < self.members.len() && j < other.members.len() {
+                if self.members[i].0 <= other.members[j].0 {
+                    merged.push(self.members[i]);
+                    i += 1;
+                } else {
+                    merged.push(other.members[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&self.members[i..]);
+            merged.extend_from_slice(&other.members[j..]);
+            self.members = merged;
+            self.len += other.len;
+        }
+    }
+
+    let mut blocks: Vec<WBlock> = Vec::with_capacity(pairs.len());
+    for &(v, w) in pairs {
+        blocks.push(WBlock {
+            members: vec![(v, w)],
+            len: 1,
+        });
+        while blocks.len() >= 2 {
+            let last = blocks.len() - 1;
+            if blocks[last - 1].median() > blocks[last].median() {
+                let top = blocks.pop().expect("len >= 2");
+                blocks.last_mut().expect("len >= 1").merge(&top);
+            } else {
+                break;
+            }
+        }
+    }
+    let mut fitted = Vec::with_capacity(pairs.len());
+    let mut cost = 0.0;
+    for b in &blocks {
+        let m = b.median();
+        cost += b.cost();
+        fitted.extend(std::iter::repeat_n(m, b.len));
+    }
+    (fitted, cost)
+}
+
+/// Weighted antitonic (non-increasing) `ℓ1` regression, by reversing.
+pub fn weighted_antitonic_l1(pairs: &[(f64, f64)]) -> (Vec<f64>, f64) {
+    let rev: Vec<(f64, f64)> = pairs.iter().rev().copied().collect();
+    let (mut fit, cost) = weighted_isotonic_l1(&rev);
+    fit.reverse();
+    (fit, cost)
+}
+
+/// Exact minimal weighted `ℓ1` distance from a block-constant target to any
+/// function with at most `k` direction changes: the weighted generalization
+/// of [`min_l1_to_kmodal`], operating on `(value, weight)` blocks so that a
+/// `K`-flat hypothesis costs `O(k·K³·log K)` instead of `O(k·n³·log n)`.
+/// Since a block-constant target admits a block-aligned optimal k-modal
+/// fit, this is exact for such targets.
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] on empty input.
+pub fn min_weighted_l1_to_kmodal(pairs: &[(f64, f64)], k: usize) -> Result<f64> {
+    if pairs.is_empty() {
+        return Err(HistoError::InvalidParameter {
+            name: "pairs",
+            reason: "empty input".into(),
+        });
+    }
+    let n = pairs.len();
+    let mut seg_iso = vec![vec![0.0_f64; n]; n];
+    let mut seg_anti = vec![vec![0.0_f64; n]; n];
+    for a in 0..n {
+        for b in a..n {
+            seg_iso[a][b] = weighted_isotonic_l1(&pairs[a..=b]).1;
+            seg_anti[a][b] = weighted_antitonic_l1(&pairs[a..=b]).1;
+        }
+    }
+    let segs = k + 1;
+    let inf = f64::INFINITY;
+    let mut dp = vec![[inf; 2]; n];
+    for e in 0..n {
+        dp[e][0] = seg_iso[0][e];
+        dp[e][1] = seg_anti[0][e];
+    }
+    let mut best = dp[n - 1][0].min(dp[n - 1][1]);
+    for _s in 1..segs {
+        let mut next = vec![[inf; 2]; n];
+        for e in 0..n {
+            for start in 1..=e {
+                let iso_cand = dp[start - 1][1] + seg_iso[start][e];
+                if iso_cand < next[e][0] {
+                    next[e][0] = iso_cand;
+                }
+                let anti_cand = dp[start - 1][0] + seg_anti[start][e];
+                if anti_cand < next[e][1] {
+                    next[e][1] = anti_cand;
+                }
+            }
+        }
+        dp = next;
+        best = best.min(dp[n - 1][0].min(dp[n - 1][1]));
+    }
+    Ok(best)
+}
+
+/// Certified lower bound on the total-variation distance from `d` to the
+/// class of k-modal *distributions*: half the optimal k-modal-function
+/// `ℓ1` cost (the class of k-modal distributions is a subset of k-modal
+/// functions). The k-modal analogue of
+/// [`crate::dp::distance_to_hk_bounds`]'s lower bound.
+///
+/// # Errors
+///
+/// Propagates [`min_weighted_l1_to_kmodal`] errors.
+pub fn tv_to_kmodal_lower(d: &Distribution, k: usize) -> Result<f64> {
+    let pairs: Vec<(f64, f64)> = d.pmf().iter().map(|&p| (p, 1.0)).collect();
+    Ok(min_weighted_l1_to_kmodal(&pairs, k)? / 2.0)
+}
+
+#[cfg(test)]
+mod weighted_tests {
+    use super::*;
+
+    #[test]
+    fn weighted_matches_unweighted_at_unit_weights() {
+        let v = [2.0, 0.0, 3.0, 1.0, 1.0, 4.0, 0.5];
+        let pairs: Vec<(f64, f64)> = v.iter().map(|&x| (x, 1.0)).collect();
+        let (_, wcost) = weighted_isotonic_l1(&pairs);
+        let (_, cost) = isotonic_l1(&v);
+        assert!((wcost - cost).abs() < 1e-12);
+        for k in 0..4 {
+            let a = min_weighted_l1_to_kmodal(&pairs, k).unwrap();
+            let b = min_l1_to_kmodal(&v, k).unwrap();
+            assert!((a - b).abs() < 1e-10, "k = {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn weights_scale_costs() {
+        // Doubling every weight doubles the cost.
+        let pairs = [(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)];
+        let heavy: Vec<(f64, f64)> = pairs.iter().map(|&(v, w)| (v, 2.0 * w)).collect();
+        let (_, c1) = weighted_isotonic_l1(&pairs);
+        let (_, c2) = weighted_isotonic_l1(&heavy);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_weight_dominates_the_fit() {
+        // A heavy first element forces the fit up to its value.
+        let pairs = [(5.0, 100.0), (1.0, 1.0)];
+        let (fit, cost) = weighted_isotonic_l1(&pairs);
+        assert!((fit[0] - 5.0).abs() < 1e-12);
+        assert!(fit[1] >= fit[0] - 1e-12);
+        assert!((cost - 4.0).abs() < 1e-12); // pay |1-5| * 1
+    }
+
+    #[test]
+    fn zero_weight_entries_are_free() {
+        // Middle element wildly off but weight 0: monotone fit is free.
+        let pairs = [(1.0, 1.0), (100.0, 0.0), (2.0, 1.0)];
+        let (_, cost) = weighted_isotonic_l1(&pairs);
+        assert!(cost < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_is_monotone() {
+        let pairs = [(5.0, 2.0), (1.0, 1.0), (4.0, 3.0), (2.0, 0.5), (8.0, 1.0)];
+        let (fit, _) = weighted_isotonic_l1(&pairs);
+        assert!(fit.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        let (afit, _) = weighted_antitonic_l1(&pairs);
+        assert!(afit.windows(2).all(|w| w[0] + 1e-12 >= w[1]));
+    }
+
+    #[test]
+    fn tv_to_kmodal_lower_bounds_behave() {
+        // A unimodal distribution is at distance 0 for k >= 1.
+        let d = Distribution::from_weights(vec![1.0, 2.0, 5.0, 3.0, 1.0]).unwrap();
+        assert!(tv_to_kmodal_lower(&d, 1).unwrap() < 1e-12);
+        // Zigzag is far for small k and free for large k; monotone in k.
+        let z = Distribution::from_weights(vec![1.0, 3.0, 1.0, 3.0, 1.0, 3.0]).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 0..6 {
+            let v = tv_to_kmodal_lower(&z, k).unwrap();
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+        assert!(tv_to_kmodal_lower(&z, 1).unwrap() > 0.1);
+        assert!(tv_to_kmodal_lower(&z, 4).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Prefix-sum index over a distribution: O(1) interval masses and O(log n)
+//! quantile lookups.
+//!
+//! The subroutines of Algorithm 1 repeatedly query interval masses
+//! (flattening, the learner's `m_I`, sieve bookkeeping). A [`MassIndex`]
+//! precomputes prefix sums once and answers every interval-mass query in
+//! constant time, and quantile (inverse-CDF) queries by binary search —
+//! also the backbone of equal-mass partitioning.
+
+use crate::dist::Distribution;
+use crate::error::HistoError;
+use crate::interval::{Interval, Partition};
+use crate::Result;
+
+/// Precomputed prefix sums of a distribution's pmf.
+#[derive(Debug, Clone)]
+pub struct MassIndex {
+    /// `prefix\[i\] = D(0) + … + D(i-1)`, length `n + 1`.
+    prefix: Vec<f64>,
+}
+
+impl MassIndex {
+    /// Builds the index in `O(n)`.
+    pub fn new(d: &Distribution) -> Self {
+        let mut prefix = Vec::with_capacity(d.n() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &p in d.pmf() {
+            acc += p;
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Mass of `[lo, hi)` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi > n` or `lo > hi`.
+    pub fn range_mass(&self, lo: usize, hi: usize) -> f64 {
+        assert!(lo <= hi && hi < self.prefix.len(), "bad range [{lo}, {hi})");
+        (self.prefix[hi] - self.prefix[lo]).max(0.0)
+    }
+
+    /// Mass of an interval in O(1).
+    pub fn interval_mass(&self, iv: &Interval) -> f64 {
+        self.range_mass(iv.lo(), iv.hi())
+    }
+
+    /// The cumulative mass strictly before element `i`.
+    pub fn cdf_before(&self, i: usize) -> f64 {
+        self.prefix[i]
+    }
+
+    /// Smallest element `i` with cumulative mass `>= q` (the q-quantile),
+    /// by binary search in O(log n).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= q <= 1`.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile level {q}");
+        // First index i in 1..=n with prefix[i] >= q; element is i-1.
+        let pos = self.prefix.partition_point(|&c| c < q);
+        pos.saturating_sub(1).min(self.n() - 1)
+    }
+
+    /// Splits the domain into `parts` contiguous intervals of near-equal
+    /// mass (each boundary at a quantile). Heavy single elements may force
+    /// unequal parts; the partition is always valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::InvalidParameter`] if `parts == 0` or exceeds
+    /// the domain size.
+    pub fn equal_mass_partition(&self, parts: usize) -> Result<Partition> {
+        let n = self.n();
+        if parts == 0 || parts > n {
+            return Err(HistoError::InvalidParameter {
+                name: "parts",
+                reason: format!("need 1 <= parts <= n, got {parts}"),
+            });
+        }
+        let mut starts = vec![0usize];
+        for j in 1..parts {
+            let q = j as f64 / parts as f64;
+            let boundary = self.quantile(q).max(*starts.last().expect("non-empty") + 1);
+            if boundary >= n {
+                break;
+            }
+            if boundary > *starts.last().expect("non-empty") {
+                starts.push(boundary);
+            }
+        }
+        Partition::from_starts(n, &starts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(v: &[f64]) -> Distribution {
+        Distribution::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn range_masses_match_direct_sums() {
+        let x = d(&[0.1, 0.2, 0.3, 0.25, 0.15]);
+        let idx = MassIndex::new(&x);
+        assert_eq!(idx.n(), 5);
+        for lo in 0..5 {
+            for hi in lo..=5 {
+                let direct: f64 = x.pmf()[lo..hi].iter().sum();
+                assert!((idx.range_mass(lo, hi) - direct).abs() < 1e-12);
+            }
+        }
+        let iv = Interval::new(1, 4).unwrap();
+        assert!((idx.interval_mass(&iv) - x.interval_mass(&iv)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_invert_the_cdf() {
+        let x = d(&[0.1, 0.2, 0.3, 0.25, 0.15]);
+        let idx = MassIndex::new(&x);
+        assert_eq!(idx.quantile(0.0), 0);
+        assert_eq!(idx.quantile(0.05), 0);
+        assert_eq!(idx.quantile(0.15), 1);
+        assert_eq!(idx.quantile(0.3), 1);
+        assert_eq!(idx.quantile(0.31), 2);
+        assert_eq!(idx.quantile(1.0), 4);
+    }
+
+    #[test]
+    fn equal_mass_partition_balances() {
+        let x = Distribution::uniform(100).unwrap();
+        let idx = MassIndex::new(&x);
+        let p = idx.equal_mass_partition(4).unwrap();
+        assert_eq!(p.len(), 4);
+        for iv in p.intervals() {
+            let mass = idx.interval_mass(iv);
+            assert!((mass - 0.25).abs() < 0.02, "interval mass {mass}");
+        }
+    }
+
+    #[test]
+    fn equal_mass_partition_handles_heavy_elements() {
+        // One element carries 90% of the mass: the partition stays valid
+        // even though equality is impossible.
+        let mut w = vec![1.0; 20];
+        w[7] = 200.0;
+        let x = Distribution::from_weights(w).unwrap();
+        let idx = MassIndex::new(&x);
+        let p = idx.equal_mass_partition(5).unwrap();
+        let covered: usize = p.intervals().iter().map(|iv| iv.len()).sum();
+        assert_eq!(covered, 20);
+        assert!(p.len() <= 5);
+        assert!(idx.equal_mass_partition(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn out_of_bounds_range_panics() {
+        let x = d(&[0.5, 0.5]);
+        MassIndex::new(&x).range_mass(0, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the distance metrics: metric axioms, the standard
+//! inequalities relating TV / χ² / KL, and restriction additivity.
+
+use histo_core::distance::*;
+use histo_core::{Distribution, Interval};
+use proptest::prelude::*;
+
+fn arb_dist(n: usize) -> impl Strategy<Value = Distribution> {
+    prop::collection::vec(1u32..1000, n..=n)
+        .prop_map(|w| Distribution::from_weights(w.into_iter().map(f64::from).collect()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tv_is_a_metric((a, b, c) in (arb_dist(12), arb_dist(12), arb_dist(12))) {
+        let ab = total_variation(&a, &b).unwrap();
+        let ba = total_variation(&b, &a).unwrap();
+        let bc = total_variation(&b, &c).unwrap();
+        let ac = total_variation(&a, &c).unwrap();
+        // Symmetry, identity, range, triangle.
+        prop_assert!((ab - ba).abs() < 1e-15);
+        prop_assert!(total_variation(&a, &a).unwrap() < 1e-15);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+
+    /// The chain of standard inequalities:
+    /// 2·TV² <= KL (Pinsker)  and  4·TV² <= χ²  and  KL <= ln(1 + χ²) <= χ².
+    #[test]
+    fn divergence_inequalities((a, b) in (arb_dist(10), arb_dist(10))) {
+        let tv = total_variation(&a, &b).unwrap();
+        let kl = kl_divergence(&a, &b).unwrap();
+        let chi = chi_square(&a, &b).unwrap();
+        prop_assert!(2.0 * tv * tv <= kl + 1e-12, "Pinsker: tv {tv}, kl {kl}");
+        prop_assert!(4.0 * tv * tv <= chi + 1e-12, "CS: tv {tv}, chi {chi}");
+        prop_assert!(kl <= (1.0 + chi).ln() + 1e-9, "kl {kl} vs ln(1+chi) {}", (1.0 + chi).ln());
+    }
+
+    /// l2^2 <= l1 * linf <= l1 (masses <= 1), and l1 = 2 TV.
+    #[test]
+    fn norm_relations((a, b) in (arb_dist(14), arb_dist(14))) {
+        let l1v = l1(&a, &b).unwrap();
+        let l2sq = l2_squared(&a, &b).unwrap();
+        let tv = total_variation(&a, &b).unwrap();
+        prop_assert!((l1v - 2.0 * tv).abs() < 1e-12);
+        prop_assert!(l2sq <= l1v + 1e-12);
+        // Cauchy-Schwarz: l1 <= sqrt(n * l2sq).
+        prop_assert!(l1v <= (14.0 * l2sq).sqrt() + 1e-9);
+    }
+
+    /// Restricted TV over a partition of the domain sums to the full TV.
+    #[test]
+    fn restriction_additivity((a, b, cut) in (arb_dist(16), arb_dist(16), 1usize..15)) {
+        let left = Interval::new(0, cut).unwrap();
+        let right = Interval::new(cut, 16).unwrap();
+        let full = total_variation(&a, &b).unwrap();
+        let l = restricted_tv(&a, &b, &[left]).unwrap();
+        let r = restricted_tv(&a, &b, &[right]).unwrap();
+        prop_assert!((l + r - full).abs() < 1e-12);
+        // Each part is at most the whole.
+        prop_assert!(l <= full + 1e-15 && r <= full + 1e-15);
+        // Same for chi-square.
+        let cf = chi_square(&a, &b).unwrap();
+        let cl = restricted_chi_square(&a, &b, &[left]).unwrap();
+        let cr = restricted_chi_square(&a, &b, &[right]).unwrap();
+        prop_assert!((cl + cr - cf).abs() < 1e-9 * cf.max(1.0));
+    }
+
+    /// Flattening is a contraction for TV against any distribution flat on
+    /// the same partition (data-processing inequality for the coarsening).
+    #[test]
+    fn flattening_contracts((a, b, parts) in (arb_dist(12), arb_dist(12), 1usize..6)) {
+        let p = histo_core::Partition::equal_width(12, parts).unwrap();
+        let fa = a.flatten(&p).unwrap();
+        let fb = b.flatten(&p).unwrap();
+        let flat_tv = total_variation(&fa, &fb).unwrap();
+        let full_tv = total_variation(&a, &b).unwrap();
+        prop_assert!(flat_tv <= full_tv + 1e-12,
+            "coarsening must not increase TV: {flat_tv} > {full_tv}");
+    }
+
+    /// Permuting both arguments by the same permutation preserves all
+    /// distances (they are label-symmetric even though H_k is not).
+    #[test]
+    fn distances_are_permutation_invariant((a, b, seed) in (arb_dist(10), arb_dist(10), 0u64..1000)) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sigma = {
+            use rand::seq::SliceRandom;
+            let mut s: Vec<usize> = (0..10).collect();
+            s.shuffle(&mut rng);
+            s
+        };
+        let pa = a.permute(&sigma).unwrap();
+        let pb = b.permute(&sigma).unwrap();
+        let tv1 = total_variation(&a, &b).unwrap();
+        let tv2 = total_variation(&pa, &pb).unwrap();
+        prop_assert!((tv1 - tv2).abs() < 1e-12);
+        let c1 = chi_square(&a, &b).unwrap();
+        let c2 = chi_square(&pa, &pb).unwrap();
+        prop_assert!((c1 - c2).abs() < 1e-9 * c1.max(1.0));
+    }
+}

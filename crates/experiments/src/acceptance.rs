@@ -1,0 +1,158 @@
+//! Acceptance-probability estimation with confidence intervals.
+
+use histo_core::Distribution;
+use histo_sampling::{DistOracle, SampleOracle};
+use histo_stats::{RunningStats, WilsonInterval};
+use histo_testers::Tester;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A source of test instances: each trial draws a (possibly fresh)
+/// distribution. Must be callable from multiple threads.
+pub trait InstanceEnsemble: Sync {
+    /// Draws the instance for one trial.
+    fn draw(&self, rng: &mut dyn RngCore) -> Distribution;
+}
+
+/// A fixed instance used for every trial.
+pub struct FixedInstance(pub Distribution);
+
+impl InstanceEnsemble for FixedInstance {
+    fn draw(&self, _: &mut dyn RngCore) -> Distribution {
+        self.0.clone()
+    }
+}
+
+impl<F: Fn(&mut dyn RngCore) -> Distribution + Sync> InstanceEnsemble for F {
+    fn draw(&self, rng: &mut dyn RngCore) -> Distribution {
+        self(rng)
+    }
+}
+
+/// Result of an acceptance-probability estimation run.
+#[derive(Debug, Clone)]
+pub struct AcceptanceEstimate {
+    /// Accepting trials.
+    pub accepts: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// 95% Wilson interval for the acceptance probability.
+    pub ci: WilsonInterval,
+    /// Measured samples drawn per trial (mean/min/max/stddev).
+    pub samples: RunningStats,
+}
+
+impl AcceptanceEstimate {
+    /// Point estimate of the acceptance probability.
+    pub fn rate(&self) -> f64 {
+        self.ci.point
+    }
+}
+
+/// Estimates `P[tester accepts]` over `trials` independent trials, each on
+/// a fresh instance from `ensemble`, running trials in parallel across
+/// `threads` workers. Per-trial RNGs are `StdRng::seed_from_u64(seed ^ i)`,
+/// so results are independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if the tester returns a parameter error (instances and
+/// parameters are caller-controlled, so an error is a bug in the
+/// experiment, not a data condition).
+pub fn estimate_acceptance(
+    tester: &(dyn Tester + Sync),
+    ensemble: &dyn InstanceEnsemble,
+    k: usize,
+    epsilon: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> AcceptanceEstimate {
+    let threads = threads.max(1);
+    let results = parking_lot::Mutex::new((0u64, RunningStats::new()));
+    let next = std::sync::atomic::AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local_accepts = 0u64;
+                let mut local_samples = RunningStats::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i,
+                    );
+                    let d = ensemble.draw(&mut rng);
+                    let mut oracle = DistOracle::new(d).with_fast_poissonization();
+                    let decision = tester
+                        .test(&mut oracle, k, epsilon, &mut rng)
+                        .expect("experiment parameters must be valid");
+                    if decision.accepted() {
+                        local_accepts += 1;
+                    }
+                    local_samples.push(oracle.samples_drawn() as f64);
+                }
+                let mut guard = results.lock();
+                guard.0 += local_accepts;
+                guard.1.merge(&local_samples);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    let (accepts, samples) = results.into_inner();
+    AcceptanceEstimate {
+        accepts,
+        trials,
+        ci: WilsonInterval::ci95(accepts, trials),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_sampling::generators::staircase;
+    use histo_testers::histogram_tester::HistogramTester;
+    use histo_testers::uniformity::CollisionUniformityTester;
+
+    #[test]
+    fn uniform_acceptance_is_high_and_deterministic() {
+        let d = Distribution::uniform(400).unwrap();
+        let t = CollisionUniformityTester::default();
+        let a = estimate_acceptance(&t, &FixedInstance(d.clone()), 1, 0.3, 40, 7, 4);
+        assert!(a.rate() >= 0.8, "rate {}", a.rate());
+        assert_eq!(a.trials, 40);
+        assert!(a.samples.mean() > 0.0);
+        // Same seed, different thread count => identical outcome.
+        let b = estimate_acceptance(&t, &FixedInstance(d), 1, 0.3, 40, 7, 1);
+        assert_eq!(a.accepts, b.accepts);
+        assert_eq!(a.samples.mean(), b.samples.mean());
+    }
+
+    #[test]
+    fn ensemble_closures_work() {
+        let ens = |rng: &mut dyn RngCore| {
+            histo_sampling::generators::random_k_histogram(200, 3, rng)
+                .unwrap()
+                .to_distribution()
+                .unwrap()
+        };
+        let t = HistogramTester::practical();
+        let a = estimate_acceptance(&t, &ens, 3, 0.4, 10, 11, 4);
+        assert!(a.rate() >= 0.6, "rate {}", a.rate());
+    }
+
+    #[test]
+    fn samples_statistics_are_recorded() {
+        let d = staircase(300, 2).unwrap().to_distribution().unwrap();
+        let t = HistogramTester::practical();
+        let a = estimate_acceptance(&t, &FixedInstance(d), 2, 0.35, 8, 13, 2);
+        assert_eq!(a.samples.count(), 8);
+        assert!(a.samples.min() > 0.0);
+        assert!(a.samples.max() >= a.samples.min());
+    }
+}

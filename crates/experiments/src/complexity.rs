@@ -1,0 +1,260 @@
+//! Minimal-sample-budget search.
+//!
+//! Theorems 1.1 and 1.2 are statements about the number of samples needed
+//! for two-sided 2/3 success. To measure that number for an implemented
+//! tester we scale all of its sample budgets by a common factor and search
+//! for the smallest factor at which the tester succeeds on a calibrated
+//! (positive, negative) instance pair — success meaning *both*
+//! `P[accept | positive] >= 2/3` and `P[reject | negative] >= 2/3`.
+//! The reported complexity is the measured mean draw count at that factor.
+
+use crate::acceptance::{estimate_acceptance, InstanceEnsemble};
+use histo_testers::Tester;
+
+/// A calibrated pair of instance ensembles for one parameter setting.
+pub struct InstancePair<'a> {
+    /// Instances inside `H_k`.
+    pub positive: &'a dyn InstanceEnsemble,
+    /// Instances certified ε-far from `H_k`.
+    pub negative: &'a dyn InstanceEnsemble,
+}
+
+/// Configuration of the budget search.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetSearch {
+    /// Trials per acceptance estimation.
+    pub trials: u64,
+    /// Success threshold on both sides (paper: 2/3).
+    pub success: f64,
+    /// Initial scale factor for the doubling phase.
+    pub initial_scale: f64,
+    /// Abort the doubling phase past this scale.
+    pub max_scale: f64,
+    /// Bisection steps after bracketing.
+    pub bisection_steps: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BudgetSearch {
+    fn default() -> Self {
+        Self {
+            trials: 60,
+            success: 2.0 / 3.0,
+            initial_scale: 1.0 / 64.0,
+            max_scale: 64.0,
+            bisection_steps: 5,
+            threads: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Result of the minimal-budget search.
+#[derive(Debug, Clone)]
+pub struct BudgetResult {
+    /// The smallest successful scale factor found (None if even
+    /// `max_scale` failed).
+    pub scale: Option<f64>,
+    /// Measured mean samples per run at that scale.
+    pub mean_samples: f64,
+    /// Completeness rate at the final scale.
+    pub completeness: f64,
+    /// Soundness (rejection) rate at the final scale.
+    pub soundness: f64,
+}
+
+/// Runs the doubling-then-bisection search. `make_tester(scale)` must build
+/// the tester with all sample budgets multiplied by `scale` (e.g.
+/// `HistogramTester::new(config.scaled(scale))`).
+pub fn minimal_budget<T, F>(
+    make_tester: F,
+    pair: &InstancePair<'_>,
+    k: usize,
+    epsilon: f64,
+    search: &BudgetSearch,
+) -> BudgetResult
+where
+    T: Tester + Sync,
+    F: Fn(f64) -> T,
+{
+    let evaluate = |scale: f64| -> (f64, f64, f64) {
+        let tester = make_tester(scale);
+        let pos = estimate_acceptance(
+            &tester,
+            pair.positive,
+            k,
+            epsilon,
+            search.trials,
+            search.seed,
+            search.threads,
+        );
+        let neg = estimate_acceptance(
+            &tester,
+            pair.negative,
+            k,
+            epsilon,
+            search.trials,
+            search.seed ^ 0x5A5A_5A5A,
+            search.threads,
+        );
+        let samples = (pos.samples.mean() + neg.samples.mean()) / 2.0;
+        (pos.rate(), 1.0 - neg.rate(), samples)
+    };
+
+    // Doubling phase: find a successful scale.
+    let mut scale = search.initial_scale;
+    let mut hi: Option<f64> = None;
+    let mut last = (0.0, 0.0, 0.0);
+    while scale <= search.max_scale {
+        last = evaluate(scale);
+        if last.0 >= search.success && last.1 >= search.success {
+            hi = Some(scale);
+            break;
+        }
+        scale *= 2.0;
+    }
+    let Some(mut hi_scale) = hi else {
+        return BudgetResult {
+            scale: None,
+            mean_samples: last.2,
+            completeness: last.0,
+            soundness: last.1,
+        };
+    };
+
+    // Bisection phase between hi/2 (failed or untried) and hi.
+    let mut lo_scale = hi_scale / 2.0;
+    let mut best = last;
+    for _ in 0..search.bisection_steps {
+        let mid = (lo_scale * hi_scale).sqrt();
+        let r = evaluate(mid);
+        if r.0 >= search.success && r.1 >= search.success {
+            hi_scale = mid;
+            best = r;
+        } else {
+            lo_scale = mid;
+        }
+    }
+
+    // Confirmation pass: re-measure the chosen scale with a fresh seed and
+    // doubled trials, stepping the scale back up while the success
+    // replication fails — guards against the winner's-curse bias of
+    // selecting lucky scales from noisy estimates.
+    let confirm = |scale: f64| -> (f64, f64, f64) {
+        let tester = make_tester(scale);
+        let pos = estimate_acceptance(
+            &tester,
+            pair.positive,
+            k,
+            epsilon,
+            search.trials * 2,
+            search.seed ^ 0xDEAD_BEEF,
+            search.threads,
+        );
+        let neg = estimate_acceptance(
+            &tester,
+            pair.negative,
+            k,
+            epsilon,
+            search.trials * 2,
+            search.seed ^ 0xBEEF_DEAD,
+            search.threads,
+        );
+        (
+            pos.rate(),
+            1.0 - neg.rate(),
+            (pos.samples.mean() + neg.samples.mean()) / 2.0,
+        )
+    };
+    for _ in 0..4 {
+        let r = confirm(hi_scale);
+        if r.0 >= search.success && r.1 >= search.success {
+            best = r;
+            break;
+        }
+        hi_scale *= 1.4;
+        best = r;
+    }
+    BudgetResult {
+        scale: Some(hi_scale),
+        mean_samples: best.2,
+        completeness: best.0,
+        soundness: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptance::FixedInstance;
+    use histo_core::Distribution;
+    use histo_sampling::generators::{staircase, uniform_sawtooth};
+    use histo_testers::config::TesterConfig;
+    use histo_testers::histogram_tester::HistogramTester;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn search_finds_a_finite_budget() {
+        let n = 300;
+        let pos = FixedInstance(staircase(n, 2).unwrap().to_distribution().unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let far = uniform_sawtooth(n, 2, 0.9, &mut rng).unwrap();
+        assert!(far.tv_to_hk_lower > 0.3);
+        let neg = FixedInstance(far.dist);
+        let pair = InstancePair {
+            positive: &pos,
+            negative: &neg,
+        };
+        let search = BudgetSearch {
+            trials: 24,
+            bisection_steps: 3,
+            threads: 4,
+            ..Default::default()
+        };
+        let result = minimal_budget(
+            |scale| HistogramTester::new(TesterConfig::practical().scaled(scale)),
+            &pair,
+            2,
+            0.3,
+            &search,
+        );
+        let scale = result.scale.expect("search must succeed");
+        assert!(scale > 0.0 && scale <= 64.0);
+        assert!(result.mean_samples > 0.0);
+        assert!(result.completeness >= 2.0 / 3.0);
+        assert!(result.soundness >= 2.0 / 3.0);
+    }
+
+    #[test]
+    fn impossible_task_returns_none() {
+        // Positive and negative are the SAME distribution: no tester can
+        // have both completeness and soundness 2/3.
+        let d = Distribution::uniform(100).unwrap();
+        let pos = FixedInstance(d.clone());
+        let neg = FixedInstance(d);
+        let pair = InstancePair {
+            positive: &pos,
+            negative: &neg,
+        };
+        let search = BudgetSearch {
+            trials: 16,
+            max_scale: 2.0,
+            initial_scale: 0.5,
+            bisection_steps: 1,
+            threads: 2,
+            ..Default::default()
+        };
+        let result = minimal_budget(
+            |scale| HistogramTester::new(TesterConfig::practical().scaled(scale)),
+            &pair,
+            1,
+            0.3,
+            &search,
+        );
+        assert!(result.scale.is_none());
+    }
+}

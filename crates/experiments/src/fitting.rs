@@ -1,0 +1,105 @@
+//! Log–log scaling fits: verifying exponents like the `√n` of Theorem 1.1.
+
+/// Ordinary least squares on `(x, y)` pairs; returns `(slope, intercept,
+/// r²)`.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or non-finite inputs.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "non-finite point ({x}, {y})"
+        );
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        syy += y * y;
+    }
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let ss_tot = syy - sy * sy / n;
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    (slope, intercept, r2)
+}
+
+/// Fits `y ≈ C·x^a` by regressing `ln y` on `ln x`; returns `(exponent a,
+/// constant C, r²)`.
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive.
+pub fn power_law_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let (slope, intercept, r2) = linear_fit(&logs);
+    (slope, intercept.exp(), r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_law_recovered() {
+        let pts: Vec<(f64, f64)> = [100.0, 400.0, 1600.0, 6400.0]
+            .iter()
+            .map(|&n: &f64| (n, 7.0 * n.sqrt()))
+            .collect();
+        let (a, c, r2) = power_law_fit(&pts);
+        assert!((a - 0.5).abs() < 1e-10, "exponent {a}");
+        assert!((c - 7.0).abs() < 1e-8, "constant {c}");
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_reports_lower_r2() {
+        let pts = [(1.0, 1.0), (2.0, 4.0), (3.0, 2.0), (4.0, 8.0)];
+        let (_, _, r2) = linear_fit(&pts);
+        assert!(r2 < 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_points_panics() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_law_rejects_nonpositive() {
+        power_law_fit(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

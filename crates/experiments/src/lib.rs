@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # histo-experiments
+//!
+//! The experiment driver behind every table and figure in EXPERIMENTS.md:
+//!
+//! - [`acceptance`]: estimating a tester's acceptance probability on an
+//!   instance ensemble, with Wilson confidence intervals and measured
+//!   sample usage, parallelized across trials.
+//! - [`complexity`]: searching for the minimal sample budget at which a
+//!   tester reaches 2/3 two-sided success on a (positive, negative)
+//!   instance pair — the quantity Theorems 1.1/1.2 bound.
+//! - [`report`]: rendering experiment results as aligned text tables, CSV,
+//!   and serde-serializable JSON reports (written next to the bench
+//!   binaries' stdout so EXPERIMENTS.md is regenerable).
+//! - [`fitting`]: log–log slope fits used to verify scaling exponents
+//!   (√n ⇒ slope ≈ 0.5, linear in k ⇒ slope ≈ 1).
+//!
+//! Every run is driven by an explicit seed; all parallelism derives
+//! per-trial RNGs deterministically from it.
+
+pub mod acceptance;
+pub mod complexity;
+pub mod fitting;
+pub mod report;
+
+pub use acceptance::{estimate_acceptance, AcceptanceEstimate, InstanceEnsemble};
+pub use complexity::{minimal_budget, BudgetSearch, InstancePair};
+pub use report::{ExperimentReport, Table};

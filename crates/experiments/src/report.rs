@@ -1,0 +1,269 @@
+//! Experiment reports: aligned text tables, CSV, and JSON artifacts.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple rectangular table of strings with a title and headers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"T2: minimal samples vs n"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+    /// quoted).
+    pub fn render_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete experiment report, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id from EXPERIMENTS.md (e.g. `"T2"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The claim from the paper this experiment validates.
+    pub validates: String,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Free-form parameter description.
+    pub params: Vec<(String, String)>,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Conclusions / shape checks, one line each.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, validates: &str, seed: u64) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            validates: validates.into(),
+            seed,
+            params: vec![],
+            tables: vec![],
+            notes: vec![],
+        }
+    }
+
+    /// Records a parameter.
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a conclusion note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the whole report as text (what the bench binaries print).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n", self.id, self.title));
+        out.push_str(&format!("validates: {}\n", self.validates));
+        out.push_str(&format!("seed: {}\n", self.seed));
+        for (key, value) in &self.params {
+            out.push_str(&format!("  {key} = {value}\n"));
+        }
+        out.push('\n');
+        for t in &self.tables {
+            out.push_str(&t.render_text());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice (the structure is plain data).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+
+    /// Writes `<dir>/<id>.json`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", &["n", "samples"]);
+        t.push_row(vec!["100".into(), "1234".into()]);
+        t.push_row(vec!["10000".into(), "56789".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample_table().render_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("samples"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["plain".into(), "has,comma".into()]);
+        t.push_row(vec!["has\"quote".into(), "ok".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = ExperimentReport::new("T2", "scaling in n", "Theorem 1.1", 42);
+        r.param("k", 4).param("epsilon", 0.3);
+        r.table(sample_table());
+        r.note("slope ~ 0.5");
+        let json = r.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_writes_file() {
+        let dir = std::env::temp_dir().join("histo-exp-test");
+        let r = ExperimentReport::new("T0", "t", "v", 1);
+        let path = r.write_json(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn render_text_includes_everything() {
+        let mut r = ExperimentReport::new("F1", "barrier", "Prop 4.1", 9);
+        r.param("n", 1000);
+        r.table(sample_table());
+        r.note("advantage rises at the barrier");
+        let text = r.render_text();
+        for needle in [
+            "F1",
+            "barrier",
+            "Prop 4.1",
+            "seed: 9",
+            "n = 1000",
+            "advantage",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The Paninski family `Q_ε` (Proposition 4.1).
+//!
+//! A member is determined by `n/2` bits `z_1, …, z_{n/2}`:
+//!
+//! ```text
+//! D(2i−1) = (1 + (−1)^{z_i}·cε)/n,    D(2i) = (1 − (−1)^{z_i}·cε)/n .
+//! ```
+//!
+//! Facts implemented and certified here:
+//!
+//! - `d_TV(D, U) = cε/2` exactly, for every member.
+//! - For `k < n/3` and any `D* ∈ H_k`: at least `n/2 − k + 1` of the pairs
+//!   have `D*` constant across them, each contributing `2cε/n` to
+//!   `‖D − D*‖₁`, so `d_TV(D, H_k) >= (n/2 − k + 1)·cε/n` — at least
+//!   `cε/6` in the regime of the proposition. Taking `c >= 6` makes every
+//!   member `ε`-far from `H_k`.
+//! - Distinguishing a uniformly random member from the uniform
+//!   distribution requires `Ω(√n/ε²)` samples (measured empirically in
+//!   experiment F1 via the [`crate::advantage`] harness).
+
+use histo_core::{Distribution, HistoError};
+use rand::Rng;
+
+/// The family `Q_ε` over `\[n\]` with gap constant `c` (paper: `c >= 6`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QEpsilonFamily {
+    n: usize,
+    epsilon: f64,
+    c: f64,
+}
+
+impl QEpsilonFamily {
+    /// Creates the family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::InvalidParameter`] unless `n` is even and
+    /// positive, `ε ∈ (0, 1]`, `c > 0`, and `cε < 1` (masses must stay
+    /// positive).
+    pub fn new(n: usize, epsilon: f64, c: f64) -> Result<Self, HistoError> {
+        if n == 0 || !n.is_multiple_of(2) {
+            return Err(HistoError::InvalidParameter {
+                name: "n",
+                reason: format!("need positive even n, got {n}"),
+            });
+        }
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(HistoError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("need epsilon in (0,1], got {epsilon}"),
+            });
+        }
+        if c <= 0.0 || c.is_nan() || c * epsilon >= 1.0 {
+            return Err(HistoError::InvalidParameter {
+                name: "c",
+                reason: format!("need c > 0 with c·ε < 1, got c = {c}, ε = {epsilon}"),
+            });
+        }
+        Ok(Self { n, epsilon, c })
+    }
+
+    /// The paper's canonical parameters: `c = 6` (requires `ε < 1/6`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`QEpsilonFamily::new`].
+    pub fn canonical(n: usize, epsilon: f64) -> Result<Self, HistoError> {
+        Self::new(n, epsilon, 6.0)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Gap constant `c`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The member determined by the given sign bits (`bits.len() == n/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::InvalidParameter`] on a wrong-length bit
+    /// vector.
+    pub fn member(&self, bits: &[bool]) -> Result<Distribution, HistoError> {
+        if bits.len() != self.n / 2 {
+            return Err(HistoError::InvalidParameter {
+                name: "bits",
+                reason: format!("need {} bits, got {}", self.n / 2, bits.len()),
+            });
+        }
+        let base = 1.0 / self.n as f64;
+        let delta = self.c * self.epsilon * base;
+        let mut pmf = Vec::with_capacity(self.n);
+        for &z in bits {
+            let sign = if z { 1.0 } else { -1.0 };
+            pmf.push(base + sign * delta);
+            pmf.push(base - sign * delta);
+        }
+        Distribution::new(pmf)
+    }
+
+    /// A uniformly random member.
+    pub fn sample_member<R: Rng + ?Sized>(&self, rng: &mut R) -> Distribution {
+        let bits: Vec<bool> = (0..self.n / 2).map(|_| rng.gen()).collect();
+        self.member(&bits)
+            .expect("bit length matches by construction")
+    }
+
+    /// The exact total-variation distance of every member from uniform:
+    /// `cε/2`.
+    pub fn tv_from_uniform(&self) -> f64 {
+        self.c * self.epsilon / 2.0
+    }
+
+    /// The certified lower bound on `d_TV(member, H_k)` from the pairing
+    /// argument: `(n/2 − k + 1)·cε/n`, clamped at 0 — positive exactly when
+    /// `k <= n/2`, and at least `cε/6` for `k < n/3`.
+    pub fn certified_distance_to_hk(&self, k: usize) -> f64 {
+        let pairs_forced = (self.n / 2).saturating_sub(k.saturating_sub(1)) as f64;
+        pairs_forced * self.c * self.epsilon / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::distance::total_variation;
+    use histo_core::dp::distance_to_hk_bounds;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(QEpsilonFamily::new(10, 0.1, 6.0).is_ok());
+        assert!(QEpsilonFamily::new(11, 0.1, 6.0).is_err()); // odd
+        assert!(QEpsilonFamily::new(0, 0.1, 6.0).is_err());
+        assert!(QEpsilonFamily::new(10, 0.0, 6.0).is_err());
+        assert!(QEpsilonFamily::new(10, 0.2, 6.0).is_err()); // c*eps >= 1
+    }
+
+    #[test]
+    fn members_are_valid_distributions() {
+        let fam = QEpsilonFamily::canonical(100, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let d = fam.sample_member(&mut rng);
+            assert_eq!(d.n(), 100);
+            assert!(d.pmf().iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn tv_from_uniform_is_exact() {
+        let fam = QEpsilonFamily::canonical(50 * 2, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = fam.sample_member(&mut rng);
+        let u = Distribution::uniform(100).unwrap();
+        let tv = total_variation(&d, &u).unwrap();
+        assert!((tv - fam.tv_from_uniform()).abs() < 1e-12);
+        assert!((tv - 0.3).abs() < 1e-12); // c*eps/2 = 6*0.1/2
+    }
+
+    #[test]
+    fn certified_bound_is_sound_vs_exact_dp() {
+        // On a small domain, the certified pairing bound must lower-bound
+        // the DP's function-relaxation bound (both lower-bound the truth,
+        // and the pairing argument also applies to k-piece functions).
+        let fam = QEpsilonFamily::new(24, 0.12, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = fam.sample_member(&mut rng);
+        for k in 1..=8usize {
+            let certified = fam.certified_distance_to_hk(k);
+            let dp = distance_to_hk_bounds(&d, k).unwrap();
+            assert!(
+                certified <= dp.lower + 1e-9,
+                "k = {k}: certified {certified} vs dp lower {}",
+                dp.lower
+            );
+        }
+    }
+
+    #[test]
+    fn certified_bound_regimes() {
+        let fam = QEpsilonFamily::canonical(600, 0.05).unwrap();
+        // k = 1: bound is (n/2)*c*eps/n = c*eps/2 = tv from uniform.
+        assert!((fam.certified_distance_to_hk(1) - fam.tv_from_uniform()).abs() < 1e-12);
+        // k < n/3: at least c*eps/6 = eps for canonical c = 6... the paper's
+        // bound: (n/2 - k + 1)/n >= 1/6 for k <= n/3.
+        let k = 600 / 3 - 1;
+        assert!(fam.certified_distance_to_hk(k) >= fam.epsilon() - 1e-12);
+        // Bound vanishes once k exceeds n/2.
+        assert_eq!(fam.certified_distance_to_hk(301), 0.0);
+    }
+
+    #[test]
+    fn members_have_many_pieces_and_modes() {
+        let fam = QEpsilonFamily::canonical(60, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = fam.sample_member(&mut rng);
+        // Every pair boundary is a breakpoint: ~n pieces.
+        assert!(d.num_pieces() >= 30);
+        // And the pmf zigzags: many direction changes (k-modal remark).
+        let changes = histo_core::modal::direction_changes(d.pmf());
+        assert!(changes >= 20, "only {changes} direction changes");
+    }
+
+    #[test]
+    fn random_members_differ() {
+        let fam = QEpsilonFamily::canonical(40, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = fam.sample_member(&mut rng);
+        let b = fam.sample_member(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,388 @@
+//! The Section 4.2 reduction: a tester for `H_k` solves `SuppSize_m`.
+//!
+//! Pipeline (Details paragraph of §4.2):
+//!
+//! 1. Set `m = ⌈3(k−1)/2⌉` (so `k = 2·(m/3) + 1` up to rounding), require
+//!    `k <= n/120` so that `m <= n/70` and Lemma 4.4 applies.
+//! 2. Embed the instance `D' ∈ Δ(\[m\])` into `\[n\]` by zero-padding.
+//! 3. Draw a uniformly random permutation `σ ∈ S_n`; present the tester
+//!    with samples from `D_σ = D' ∘ σ⁻¹` (relabel each drawn sample).
+//! 4. Run the tester with parameters `(n, k, ε₁ = 1/24)`; accept iff it
+//!    accepts. Repeat with fresh permutations and majority-vote.
+//!
+//! Correctness hinges on Lemma 4.4: a support of size `ℓ <= n/70` stays
+//! "sprinkled" after a random permutation — `cover(σ(S)) > 6ℓ/7` with
+//! probability `>= 1 − 7ℓ/n >= 9/10` — so a high-support instance needs
+//! `>= 2·(6/7)·(7m/8) − 1 > k` intervals and is `1/24`-far from `H_k`,
+//! while a low-support instance is a `(2·supp+1) <= k`-histogram always.
+
+use crate::support_size::SuppSizeInstance;
+use histo_core::empirical::SampleCounts;
+use histo_core::{Distribution, HistoError};
+use histo_sampling::oracle::SampleOracle;
+use histo_sampling::permutation::random_permutation;
+use histo_sampling::DistOracle;
+use histo_testers::{Decision, Tester};
+use rand::RngCore;
+
+/// `cover(S)`: the minimum number of disjoint intervals needed to cover the
+/// set `S ⊆ \[n\]` — i.e. the number of maximal runs of consecutive members
+/// (Lemma 4.4).
+pub fn cover(members: &[bool]) -> usize {
+    let mut runs = 0;
+    let mut inside = false;
+    for &m in members {
+        if m && !inside {
+            runs += 1;
+        }
+        inside = m;
+    }
+    runs
+}
+
+/// `cover(σ(S))` for the support of `d` under permutation `sigma`.
+///
+/// # Errors
+///
+/// Returns [`HistoError::DomainMismatch`] if lengths differ.
+pub fn cover_after_permutation(d: &Distribution, sigma: &[usize]) -> Result<usize, HistoError> {
+    if sigma.len() != d.n() {
+        return Err(HistoError::DomainMismatch {
+            left: d.n(),
+            right: sigma.len(),
+        });
+    }
+    let mut members = vec![false; d.n()];
+    for (i, &target) in sigma.iter().enumerate() {
+        if d.mass(i) > 0.0 {
+            members[target] = true;
+        }
+    }
+    Ok(cover(&members))
+}
+
+/// An oracle presenting `D ∘ σ⁻¹`: every sample drawn from the inner oracle
+/// is relabeled through `σ`. Used by the reduction so the tester sees the
+/// permuted distribution while samples are physically drawn from the
+/// original instance.
+pub struct PermutedOracle<'a> {
+    inner: &'a mut dyn SampleOracle,
+    sigma: &'a [usize],
+}
+
+impl<'a> PermutedOracle<'a> {
+    /// Wraps `inner` with permutation `sigma` (length must equal the
+    /// domain size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::DomainMismatch`] on a length mismatch.
+    pub fn new(inner: &'a mut dyn SampleOracle, sigma: &'a [usize]) -> Result<Self, HistoError> {
+        if sigma.len() != inner.n() {
+            return Err(HistoError::DomainMismatch {
+                left: inner.n(),
+                right: sigma.len(),
+            });
+        }
+        Ok(Self { inner, sigma })
+    }
+}
+
+impl SampleOracle for PermutedOracle<'_> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        self.sigma[self.inner.draw(rng)]
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.inner.samples_drawn()
+    }
+
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        // Relabel the inner counts through sigma; preserves the fast path.
+        let inner_counts = self.inner.poissonized_counts(m, rng);
+        let mut counts = vec![0u64; self.n()];
+        for (i, &target) in self.sigma.iter().enumerate() {
+            counts[target] = inner_counts.count(i);
+        }
+        SampleCounts::from_counts(counts).expect("n >= 1")
+    }
+}
+
+/// The lifted tester: solves `SuppSize_m` with a black-box `H_k` tester.
+pub struct LiftedTester<'a> {
+    tester: &'a dyn Tester,
+    /// Enlarged domain size `n`.
+    pub n: usize,
+    /// Histogram class parameter `k` (derived from `m`).
+    pub k: usize,
+    /// The distance parameter `ε₁` fed to the tester (paper: 1/24).
+    pub epsilon: f64,
+    /// Majority-vote repetitions (fresh permutation each).
+    pub repetitions: usize,
+}
+
+impl<'a> LiftedTester<'a> {
+    /// Builds the reduction for instances over `\[m\]`, embedding into `\[n\]`.
+    /// Uses the paper's parameters `k = 2⌊m/3⌋ + 1` and `ε₁ = 1/24`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::InvalidParameter`] unless `m >= 8` and
+    /// `n >= 70·m` (the regime of Lemma 4.4).
+    pub fn new(
+        tester: &'a dyn Tester,
+        m: usize,
+        n: usize,
+        repetitions: usize,
+    ) -> Result<Self, HistoError> {
+        if m < 8 || n < 70 * m {
+            return Err(HistoError::InvalidParameter {
+                name: "n",
+                reason: format!("need m >= 8 and n >= 70 m, got m = {m}, n = {n}"),
+            });
+        }
+        Ok(Self {
+            tester,
+            n,
+            k: 2 * (m / 3) + 1,
+            epsilon: 1.0 / 24.0,
+            repetitions: repetitions.max(1),
+        })
+    }
+
+    /// Decides one `SuppSize` instance: returns `true` for "low support"
+    /// (tester accepted the majority of lifted runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tester errors.
+    pub fn decide(
+        &self,
+        instance: &SuppSizeInstance,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<bool> {
+        let padded = histo_sampling::generators::zero_pad(&instance.dist, self.n)?;
+        let mut votes = Vec::with_capacity(self.repetitions);
+        for _ in 0..self.repetitions {
+            let sigma = random_permutation(self.n, rng);
+            let mut base = DistOracle::new(padded.clone());
+            let mut oracle = PermutedOracle::new(&mut base, &sigma)?;
+            let decision = self.tester.test(&mut oracle, self.k, self.epsilon, rng)?;
+            votes.push(decision == Decision::Accept);
+        }
+        Ok(histo_stats::majority_vote(&votes))
+    }
+}
+
+/// Analytic check used by the reduction's soundness: if the permuted
+/// support has `cover >= c`, the permuted distribution needs at least
+/// `2c − 1` pieces, and (by the pairing/isolation argument plus the `1/m`
+/// promise) is at least `(c − k)·(1/m)/2` far from `H_k` in TV. Returns
+/// that certified lower bound (clamped at 0).
+pub fn certified_distance_after_permutation(cover_count: usize, k: usize, m: usize) -> f64 {
+    // Each isolated chunk beyond what k pieces can "afford" forces a
+    // boundary where D* must be constant while D jumps by >= 1/m; the
+    // L1 cost per missed chunk is >= 1/m.
+    let missed = cover_count.saturating_sub(k) as f64;
+    (missed / m as f64 / 2.0).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_sampling::permutation::random_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cover_counts_runs() {
+        assert_eq!(cover(&[false, false]), 0);
+        assert_eq!(cover(&[true, true, true]), 1);
+        assert_eq!(cover(&[true, false, true]), 2);
+        assert_eq!(cover(&[false, true, true, false, true, false, true]), 3);
+        assert_eq!(cover(&[]), 0);
+    }
+
+    #[test]
+    fn cover_after_permutation_matches_manual() {
+        // Support {0, 1} mapped by sigma to {5, 2}: two isolated chunks.
+        let d = Distribution::new(vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let sigma = vec![5, 2, 0, 1, 3, 4];
+        assert_eq!(cover_after_permutation(&d, &sigma).unwrap(), 2);
+        // Identity keeps them adjacent: one chunk.
+        let id: Vec<usize> = (0..6).collect();
+        assert_eq!(cover_after_permutation(&d, &id).unwrap(), 1);
+        assert!(cover_after_permutation(&d, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn lemma_4_4_sprinkling_holds_empirically() {
+        // ell = n/100 <= n/70: P[cover <= 6ell/7] <= 7ell/n = 7/100.
+        let n = 3000;
+        let ell = 30;
+        let mut pmf = vec![0.0; n];
+        for p in pmf.iter_mut().take(ell) {
+            *p = 1.0 / ell as f64;
+        }
+        let d = Distribution::new(pmf).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let trials = 300;
+        let mut bad = 0;
+        for _ in 0..trials {
+            let sigma = random_permutation(n, &mut rng);
+            let c = cover_after_permutation(&d, &sigma).unwrap();
+            if c <= 6 * ell / 7 {
+                bad += 1;
+            }
+        }
+        let rate = bad as f64 / trials as f64;
+        assert!(rate <= 0.10, "sprinkling failed in {rate} of trials");
+    }
+
+    #[test]
+    fn permuted_oracle_reroutes_samples() {
+        let d = Distribution::point_mass(4, 0).unwrap();
+        let sigma = vec![3, 0, 1, 2];
+        let mut base = DistOracle::new(d);
+        let mut o = PermutedOracle::new(&mut base, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..10 {
+            assert_eq!(o.draw(&mut rng), 3);
+        }
+        assert_eq!(o.samples_drawn(), 10);
+        let counts = o.poissonized_counts(50.0, &mut rng);
+        assert_eq!(counts.count(0), 0);
+        assert!(counts.count(3) > 0);
+    }
+
+    #[test]
+    fn low_instances_become_k_histograms_always() {
+        // supp = m/3, so the permuted distribution has cover <= m/3 chunks
+        // => at most 2*(m/3)+1 = k pieces. Verify on concrete draws.
+        let m = 30;
+        let n = 2100;
+        let inst = SuppSizeInstance::low(m).unwrap();
+        let padded = histo_sampling::generators::zero_pad(&inst.dist, n).unwrap();
+        let k = 2 * (m / 3) + 1;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let sigma = random_permutation(n, &mut rng);
+            let permuted = padded.permute(&sigma).unwrap();
+            assert!(
+                permuted.is_k_histogram(k),
+                "{} pieces > k = {k}",
+                permuted.num_pieces()
+            );
+        }
+    }
+
+    #[test]
+    fn high_instances_need_many_pieces_whp() {
+        let m = 30;
+        let n = 2100;
+        let inst = SuppSizeInstance::high(m).unwrap();
+        let padded = histo_sampling::generators::zero_pad(&inst.dist, n).unwrap();
+        let k = 2 * (m / 3) + 1; // 21
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut far_count = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let sigma = random_permutation(n, &mut rng);
+            let permuted = padded.permute(&sigma).unwrap();
+            let c = cover_after_permutation(&padded, &sigma).unwrap();
+            // needs >= 2c - 1 pieces
+            assert!(permuted.num_pieces() >= 2 * c - 1);
+            if permuted.num_pieces() > k {
+                far_count += 1;
+            }
+        }
+        assert!(
+            far_count >= trials - 2,
+            "only {far_count}/{trials} were far"
+        );
+    }
+
+    #[test]
+    fn certified_distance_formula() {
+        assert_eq!(certified_distance_after_permutation(10, 10, 30), 0.0);
+        let d = certified_distance_after_permutation(25, 21, 30);
+        assert!((d - 4.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_validates() {
+        struct Dummy;
+        impl Tester for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn test(
+                &self,
+                _: &mut dyn SampleOracle,
+                _: usize,
+                _: f64,
+                _: &mut dyn RngCore,
+            ) -> histo_core::Result<Decision> {
+                Ok(Decision::Accept)
+            }
+        }
+        assert!(LiftedTester::new(&Dummy, 30, 2100, 1).is_ok());
+        assert!(LiftedTester::new(&Dummy, 30, 2000, 1).is_err()); // n < 70m
+        assert!(LiftedTester::new(&Dummy, 4, 2100, 1).is_err());
+    }
+
+    /// End-to-end: lift an *idealized* tester (one that uses the exact DP
+    /// on the permuted distribution — infinite-sample regime) and check the
+    /// reduction separates low from high instances.
+    #[test]
+    fn reduction_end_to_end_with_ideal_tester() {
+        struct IdealTester;
+        impl Tester for IdealTester {
+            fn name(&self) -> &'static str {
+                "ideal"
+            }
+            fn test(
+                &self,
+                oracle: &mut dyn SampleOracle,
+                k: usize,
+                epsilon: f64,
+                rng: &mut dyn RngCore,
+            ) -> histo_core::Result<Decision> {
+                // Estimate the permuted distribution from a large sample
+                // and decide by piece count of the empirical support runs.
+                let counts = oracle.draw_counts(200_000, rng);
+                let members: Vec<bool> = counts.counts().iter().map(|&c| c > 0).collect();
+                let chunks = cover(&members);
+                let _ = epsilon;
+                Ok(if 2 * chunks + 1 > 2 * k {
+                    Decision::Reject
+                } else {
+                    Decision::Accept
+                })
+            }
+        }
+        let m = 30;
+        let n = 2100;
+        let mut rng = StdRng::seed_from_u64(41);
+        let lifted = LiftedTester::new(&IdealTester, m, n, 3).unwrap();
+        let low = SuppSizeInstance::low(m).unwrap();
+        let high = SuppSizeInstance::high(m).unwrap();
+        let mut low_correct = 0;
+        let mut high_correct = 0;
+        let trials = 10;
+        for _ in 0..trials {
+            if lifted.decide(&low, &mut rng).unwrap() {
+                low_correct += 1;
+            }
+            if !lifted.decide(&high, &mut rng).unwrap() {
+                high_correct += 1;
+            }
+        }
+        assert!(low_correct >= 8, "low: {low_correct}/{trials}");
+        assert!(high_correct >= 8, "high: {high_correct}/{trials}");
+    }
+}

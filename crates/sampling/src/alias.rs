@@ -1,0 +1,167 @@
+//! Walker/Vose alias-method sampling: `O(n)` preprocessing, `O(1)` draws.
+
+use histo_core::{Distribution, HistoError};
+use rand::Rng;
+
+/// An alias-method sampler for a fixed distribution over `\[n\]`.
+///
+/// Construction is `O(n)`; each draw costs one uniform index, one uniform
+/// float, and one comparison.
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    /// `prob\[i\]`: probability of keeping column `i` (vs. taking its alias).
+    prob: Vec<f64>,
+    /// `alias\[i\]`: the alternative outcome of column `i`.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table for `d`.
+    pub fn new(d: &Distribution) -> Self {
+        Self::from_pmf(d.pmf()).expect("validated distribution")
+    }
+
+    /// Builds the alias table from a raw pmf (must be non-empty,
+    /// non-negative, summing to ~1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::EmptyDomain`] or [`HistoError::InvalidMass`].
+    pub fn from_pmf(pmf: &[f64]) -> Result<Self, HistoError> {
+        if pmf.is_empty() {
+            return Err(HistoError::EmptyDomain);
+        }
+        let n = pmf.len();
+        for (index, &value) in pmf.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(HistoError::InvalidMass { index, value });
+            }
+        }
+        // Scale so the average column is 1.
+        let total: f64 = pmf.iter().sum();
+        let scaled: Vec<f64> = pmf.iter().map(|&p| p * n as f64 / total).collect();
+
+        let mut prob = vec![0.0_f64; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Draws one sample (0-based index).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(AliasSampler::from_pmf(&[]).is_err());
+        assert!(AliasSampler::from_pmf(&[0.5, -0.5, 1.0]).is_err());
+        assert!(AliasSampler::from_pmf(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn point_mass_always_sampled() {
+        let d = Distribution::point_mass(5, 3).unwrap();
+        let s = AliasSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_pmf() {
+        let d = Distribution::new(vec![0.5, 0.25, 0.125, 0.0, 0.125]).unwrap();
+        let s = AliasSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 200_000usize;
+        let mut counts = vec![0u64; 5];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-mass element must never be drawn");
+        for i in 0..5 {
+            let freq = counts[i] as f64 / trials as f64;
+            let se = (d.mass(i) * (1.0 - d.mass(i)) / trials as f64).sqrt();
+            assert!(
+                (freq - d.mass(i)).abs() < 6.0 * se + 1e-9,
+                "element {i}: freq {freq}, mass {}",
+                d.mass(i)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_chi_square_fit() {
+        let n = 64;
+        let d = Distribution::uniform(n).unwrap();
+        let s = AliasSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 64_000usize;
+        let mut counts = vec![0u64; n];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        // dof = 63; chi2 should be nowhere near 3x dof.
+        assert!(chi2 < 3.0 * 63.0, "chi2 = {chi2:.1}");
+    }
+
+    #[test]
+    fn unnormalized_weights_accepted() {
+        // from_pmf normalizes internally.
+        let s = AliasSampler::from_pmf(&[2.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 50_000;
+        let ones = (0..trials).filter(|_| s.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / trials as f64;
+        assert!((freq - 0.75).abs() < 0.02);
+    }
+}

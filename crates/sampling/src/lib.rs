@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # histo-sampling
+//!
+//! Sampling machinery for the `few-bins` workspace:
+//!
+//! - [`alias`]: Walker/Vose alias-method sampler — `O(n)` construction,
+//!   `O(1)` per draw.
+//! - [`oracle`]: the [`oracle::SampleOracle`] abstraction all
+//!   testers draw through. Oracles *count their draws*, so every reported
+//!   sample complexity in the experiments is measured, not assumed. The
+//!   distribution-backed oracle implements the Poissonized fast path
+//!   (per-bin `N_i ~ Poisson(m·D(i))`), distributionally identical to
+//!   drawing `Poisson(m)` literal samples (Section 2 of the paper) — both
+//!   paths are provided and tested for agreement.
+//! - [`generators`]: workload distributions — random k-histograms,
+//!   staircases, Zipf-like laws, mixtures, and certified ε-far sawtooth
+//!   perturbations of k-histograms (the completeness/soundness instances of
+//!   experiment T1).
+//! - [`permutation`]: Fisher–Yates permutations for the Section 4.2
+//!   reduction.
+//! - [`continuous`]: the paper's Section 2 extension to continuous domains
+//!   by gridding — continuous sources, the binning oracle adapter, and
+//!   exact gridded pmfs for ground truth.
+
+pub mod alias;
+pub mod continuous;
+pub mod generators;
+pub mod mock;
+pub mod oracle;
+pub mod permutation;
+
+pub use alias::AliasSampler;
+pub use oracle::{DistOracle, SampleOracle};

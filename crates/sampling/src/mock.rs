@@ -1,0 +1,199 @@
+//! Deterministic mock oracles for unit-testing testers' decision paths.
+//!
+//! Randomized testers have code paths (budget-exhaustion rejects, heavy
+//! rounds, amplification medians) that are awkward to reach reliably with
+//! genuine random samples. [`ScriptedOracle`] replays a fixed sample
+//! sequence; [`CountsOracle`] hands out pre-specified Poissonized count
+//! vectors. Both count draws like every other oracle, so sample accounting
+//! is still exercised.
+
+use crate::oracle::SampleOracle;
+use histo_core::empirical::SampleCounts;
+use rand::RngCore;
+
+/// Replays a fixed sequence of samples, cycling when exhausted.
+#[derive(Debug, Clone)]
+pub struct ScriptedOracle {
+    n: usize,
+    script: Vec<usize>,
+    pos: usize,
+    drawn: u64,
+}
+
+impl ScriptedOracle {
+    /// Creates the oracle; `script` must be non-empty with entries `< n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty script or out-of-domain entries.
+    pub fn new(n: usize, script: Vec<usize>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        assert!(
+            script.iter().all(|&s| s < n),
+            "script entries must lie in 0..{n}"
+        );
+        Self {
+            n,
+            script,
+            pos: 0,
+            drawn: 0,
+        }
+    }
+}
+
+impl SampleOracle for ScriptedOracle {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn draw(&mut self, _rng: &mut dyn RngCore) -> usize {
+        let s = self.script[self.pos];
+        self.pos = (self.pos + 1) % self.script.len();
+        self.drawn += 1;
+        s
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.drawn
+    }
+}
+
+/// Hands out pre-specified count vectors for Poissonized batches, cycling
+/// through the list; individual draws fall back to a scripted round-robin
+/// over the support of the first count vector.
+#[derive(Debug, Clone)]
+pub struct CountsOracle {
+    n: usize,
+    batches: Vec<Vec<u64>>,
+    next_batch: usize,
+    drawn: u64,
+}
+
+impl CountsOracle {
+    /// Creates the oracle from a list of count vectors (each of length
+    /// `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch list or mismatched lengths.
+    pub fn new(n: usize, batches: Vec<Vec<u64>>) -> Self {
+        assert!(!batches.is_empty(), "need at least one batch");
+        assert!(
+            batches.iter().all(|b| b.len() == n),
+            "every batch must have length {n}"
+        );
+        Self {
+            n,
+            batches,
+            next_batch: 0,
+            drawn: 0,
+        }
+    }
+
+    /// Number of batches served so far.
+    pub fn batches_served(&self) -> usize {
+        self.next_batch
+    }
+}
+
+impl SampleOracle for CountsOracle {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn draw(&mut self, _rng: &mut dyn RngCore) -> usize {
+        // Round-robin over the support of the first batch.
+        let support: Vec<usize> = self.batches[0]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c > 0).then_some(i))
+            .collect();
+        self.drawn += 1;
+        if support.is_empty() {
+            return 0; // all-zero batch: fall back to element 0
+        }
+        support[(self.drawn - 1) as usize % support.len()]
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    fn poissonized_counts(&mut self, _m: f64, _rng: &mut dyn RngCore) -> SampleCounts {
+        let idx = self.next_batch % self.batches.len();
+        self.next_batch += 1;
+        let counts = self.batches[idx].clone();
+        let sc = SampleCounts::from_counts(counts).expect("n >= 1");
+        self.drawn += sc.total();
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scripted_oracle_replays_and_cycles() {
+        let mut o = ScriptedOracle::new(5, vec![1, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let draws: Vec<usize> = (0..7).map(|_| o.draw(&mut rng)).collect();
+        assert_eq!(draws, vec![1, 3, 4, 1, 3, 4, 1]);
+        assert_eq!(o.samples_drawn(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn scripted_oracle_rejects_empty() {
+        ScriptedOracle::new(5, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..5")]
+    fn scripted_oracle_rejects_out_of_domain() {
+        ScriptedOracle::new(5, vec![5]);
+    }
+
+    #[test]
+    fn counts_oracle_serves_batches_in_order() {
+        let mut o = CountsOracle::new(3, vec![vec![1, 0, 0], vec![0, 2, 0]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b1 = o.poissonized_counts(100.0, &mut rng);
+        assert_eq!(b1.counts(), &[1, 0, 0]);
+        let b2 = o.poissonized_counts(100.0, &mut rng);
+        assert_eq!(b2.counts(), &[0, 2, 0]);
+        // Cycles back.
+        let b3 = o.poissonized_counts(100.0, &mut rng);
+        assert_eq!(b3.counts(), &[1, 0, 0]);
+        assert_eq!(o.batches_served(), 3);
+        assert_eq!(o.samples_drawn(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn counts_oracle_draw_uses_support() {
+        let mut o = CountsOracle::new(4, vec![vec![0, 3, 0, 1]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..4 {
+            let s = o.draw(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod empty_support_tests {
+    use super::*;
+    use crate::oracle::SampleOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_oracle_survives_all_zero_batch() {
+        let mut o = CountsOracle::new(3, vec![vec![0, 0, 0]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(o.draw(&mut rng), 0);
+        assert_eq!(o.samples_drawn(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Sample oracles: the access model of distribution testing.
+//!
+//! A tester interacts with the unknown distribution **only** through a
+//! [`SampleOracle`]. Oracles count every sample they hand out, so the
+//! sample complexities reported by the experiment harness are measured
+//! ground truth. Two draw modes exist:
+//!
+//! - [`SampleOracle::draw`] — one i.i.d. sample.
+//! - [`SampleOracle::poissonized_counts`] — the per-element counts of a
+//!   `Poisson(m)`-sized i.i.d. batch (Section 2, "Poissonization"). The
+//!   default implementation literally draws `m' ~ Poisson(m)` samples; the
+//!   distribution-backed [`DistOracle`] overrides it with the equivalent
+//!   per-bin fast path `N_i ~ Poisson(m·D(i))` when enabled.
+
+use crate::alias::AliasSampler;
+use histo_core::empirical::SampleCounts;
+use histo_core::Distribution;
+use histo_stats::Poisson;
+use rand::RngCore;
+
+/// Black-box sample access to an unknown distribution over `\[n\]`, with
+/// built-in draw accounting.
+pub trait SampleOracle {
+    /// Domain size `n`.
+    fn n(&self) -> usize;
+
+    /// Draws one i.i.d. sample (0-based index) and counts it.
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize;
+
+    /// Total samples drawn so far.
+    fn samples_drawn(&self) -> u64;
+
+    /// Draws exactly `m` i.i.d. samples and tallies them.
+    fn draw_counts(&mut self, m: u64, rng: &mut dyn RngCore) -> SampleCounts {
+        let n = self.n();
+        let mut counts = vec![0u64; n];
+        for _ in 0..m {
+            counts[self.draw(rng)] += 1;
+        }
+        SampleCounts::from_counts(counts).expect("n >= 1")
+    }
+
+    /// Draws a `Poisson(m)`-sized i.i.d. batch and tallies it.
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        let m_prime = Poisson::new(m).sample(rng);
+        self.draw_counts(m_prime, rng)
+    }
+}
+
+/// An oracle backed by a known [`Distribution`], sampled via the alias
+/// method.
+///
+/// With [`DistOracle::with_fast_poissonization`] the Poissonized batch is
+/// drawn as independent per-bin Poisson counts in `O(n + Σ sqrt(λᵢ))` time
+/// instead of `O(m)` — identical in distribution, and the drawn total still
+/// enters the sample accounting.
+#[derive(Debug, Clone)]
+pub struct DistOracle {
+    dist: Distribution,
+    sampler: AliasSampler,
+    drawn: u64,
+    fast_poissonization: bool,
+}
+
+impl DistOracle {
+    /// Creates an oracle for `dist` (literal Poissonization).
+    pub fn new(dist: Distribution) -> Self {
+        let sampler = AliasSampler::new(&dist);
+        Self {
+            dist,
+            sampler,
+            drawn: 0,
+            fast_poissonization: false,
+        }
+    }
+
+    /// Enables the per-bin Poissonization fast path.
+    pub fn with_fast_poissonization(mut self) -> Self {
+        self.fast_poissonization = true;
+        self
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// Resets the sample counter (e.g. between repetitions of an
+    /// experiment trial that reuses the oracle).
+    pub fn reset_counter(&mut self) {
+        self.drawn = 0;
+    }
+}
+
+impl SampleOracle for DistOracle {
+    fn n(&self) -> usize {
+        self.dist.n()
+    }
+
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        self.drawn += 1;
+        self.sampler.sample(rng)
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        if !self.fast_poissonization {
+            let m_prime = Poisson::new(m).sample(rng);
+            return self.draw_counts(m_prime, rng);
+        }
+        let counts: Vec<u64> = self
+            .dist
+            .pmf()
+            .iter()
+            .map(|&p| Poisson::new(m * p).sample(rng))
+            .collect();
+        let sc = SampleCounts::from_counts(counts).expect("n >= 1");
+        self.drawn += sc.total();
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(v: &[f64]) -> Distribution {
+        Distribution::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn draws_are_counted() {
+        let mut o = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            o.draw(&mut rng);
+        }
+        assert_eq!(o.samples_drawn(), 10);
+        let c = o.draw_counts(25, &mut rng);
+        assert_eq!(c.total(), 25);
+        assert_eq!(o.samples_drawn(), 35);
+        o.reset_counter();
+        assert_eq!(o.samples_drawn(), 0);
+    }
+
+    #[test]
+    fn poissonized_counts_are_counted_both_paths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut slow = DistOracle::new(d(&[0.25; 4]));
+        let c = slow.poissonized_counts(100.0, &mut rng);
+        assert_eq!(slow.samples_drawn(), c.total());
+
+        let mut fast = DistOracle::new(d(&[0.25; 4])).with_fast_poissonization();
+        let c = fast.poissonized_counts(100.0, &mut rng);
+        assert_eq!(fast.samples_drawn(), c.total());
+    }
+
+    /// The two Poissonization paths must agree in distribution. Compare the
+    /// mean and variance of a single bin's count plus the total, over many
+    /// repetitions.
+    #[test]
+    fn poissonization_paths_agree_in_distribution() {
+        let dist = d(&[0.5, 0.3, 0.2]);
+        let m = 60.0;
+        let reps = 4_000;
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let run = |fast: bool, rng: &mut StdRng| -> (f64, f64, f64) {
+            let mut sum0 = 0.0;
+            let mut sumsq0 = 0.0;
+            let mut sum_tot = 0.0;
+            for _ in 0..reps {
+                let mut o = DistOracle::new(dist.clone());
+                if fast {
+                    o = o.with_fast_poissonization();
+                }
+                let c = o.poissonized_counts(m, rng);
+                sum0 += c.count(0) as f64;
+                sumsq0 += (c.count(0) as f64).powi(2);
+                sum_tot += c.total() as f64;
+            }
+            let mean0 = sum0 / reps as f64;
+            let var0 = sumsq0 / reps as f64 - mean0 * mean0;
+            (mean0, var0, sum_tot / reps as f64)
+        };
+
+        let (mean_slow, var_slow, tot_slow) = run(false, &mut rng);
+        let (mean_fast, var_fast, tot_fast) = run(true, &mut rng);
+        // N_0 ~ Poisson(30): mean = var = 30, total ~ Poisson(60).
+        for (got, want, tol) in [
+            (mean_slow, 30.0, 1.0),
+            (mean_fast, 30.0, 1.0),
+            (var_slow, 30.0, 3.0),
+            (var_fast, 30.0, 3.0),
+            (tot_slow, 60.0, 1.0),
+            (tot_fast, 60.0, 1.0),
+        ] {
+            assert!((got - want).abs() < tol, "got {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn draw_frequencies_follow_distribution() {
+        let dist = d(&[0.1, 0.9]);
+        let mut o = DistOracle::new(dist);
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = o.draw_counts(50_000, &mut rng);
+        let f1 = c.count(1) as f64 / c.total() as f64;
+        assert!((f1 - 0.9).abs() < 0.01);
+    }
+}

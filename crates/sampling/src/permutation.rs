@@ -1,0 +1,103 @@
+//! Uniformly random permutations (Fisher–Yates) and permutation utilities
+//! for the Section 4.2 reduction.
+
+use rand::Rng;
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates shuffle).
+/// `sigma\[i\]` is the image of `i`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut sigma: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        sigma.swap(i, j);
+    }
+    sigma
+}
+
+/// The inverse permutation: `inverse(sigma)[sigma\[i\]] == i`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not a permutation of `0..n`.
+pub fn inverse(sigma: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; sigma.len()];
+    for (i, &s) in sigma.iter().enumerate() {
+        assert!(
+            s < sigma.len() && inv[s] == usize::MAX,
+            "input is not a permutation"
+        );
+        inv[s] = i;
+    }
+    inv
+}
+
+/// Whether `sigma` is a permutation of `0..n`.
+pub fn is_permutation(sigma: &[usize]) -> bool {
+    let mut seen = vec![false; sigma.len()];
+    for &s in sigma {
+        if s >= sigma.len() || seen[s] {
+            return false;
+        }
+        seen[s] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_valid_permutations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [0usize, 1, 2, 17, 100] {
+            let sigma = random_permutation(n, &mut rng);
+            assert_eq!(sigma.len(), n);
+            assert!(is_permutation(&sigma));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sigma = random_permutation(50, &mut rng);
+        let inv = inverse(&sigma);
+        for i in 0..50 {
+            assert_eq!(inv[sigma[i]], i);
+            assert_eq!(sigma[inv[i]], i);
+        }
+    }
+
+    #[test]
+    fn permutations_are_roughly_uniform() {
+        // Over S_3 (6 permutations), frequencies should be near 1/6.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let p = random_permutation(3, &mut rng);
+            *counts.entry(p).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (_, &c) in counts.iter() {
+            let f = c as f64 / trials as f64;
+            assert!((f - 1.0 / 6.0).abs() < 0.01, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn is_permutation_detects_problems() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn inverse_panics_on_non_permutation() {
+        inverse(&[1, 1]);
+    }
+}

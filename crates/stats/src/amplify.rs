@@ -1,0 +1,156 @@
+//! Success-probability amplification.
+//!
+//! Section 3.2.1: "by standard arguments (repeating the test, and taking the
+//! median value), we can assume the probability of success of this test to
+//! be 1 − δ, at the price of an extra log(1/δ) factor in the sample
+//! complexity." These helpers implement exactly that machinery: the number
+//! of repetitions needed for a target failure probability, the median of
+//! repeated real-valued statistics, and majority votes over binary repeats.
+
+/// Number of independent repetitions of a (2/3)-correct test needed so that
+/// the majority vote is correct with probability at least `1 - delta`.
+///
+/// Derived from the Chernoff bound for a Binomial(r, 2/3) falling to r/2:
+/// `r >= 18 ln(1/delta)` suffices; we return the smallest odd such `r` (odd
+/// so the majority/median is unambiguous), and at least 1.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1`.
+pub fn repetitions_for_confidence(delta: f64) -> usize {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
+    if delta >= 1.0 / 3.0 {
+        return 1;
+    }
+    let r = (18.0 * (1.0 / delta).ln()).ceil() as usize;
+    if r.is_multiple_of(2) {
+        r + 1
+    } else {
+        r.max(1)
+    }
+}
+
+/// Majority vote over boolean outcomes. Ties (possible only for even input
+/// length) are broken toward `false`, the conservative "reject" outcome.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn majority_vote(votes: &[bool]) -> bool {
+    assert!(!votes.is_empty(), "majority_vote over empty slice");
+    let yes = votes.iter().filter(|&&v| v).count();
+    2 * yes > votes.len()
+}
+
+/// Median of a slice of floats (the lower median for even lengths).
+///
+/// # Panics
+///
+/// Panics on empty input or if any value is NaN.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    v[(v.len() - 1) / 2]
+}
+
+/// Median-of-means estimator: split `values` into `groups` contiguous groups,
+/// average each, return the median of the group means. The classic
+/// heavy-tail-robust mean estimator; used by the experiment harness when
+/// summarizing runtimes.
+///
+/// # Panics
+///
+/// Panics if `groups == 0` or `values.len() < groups`.
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    assert!(groups > 0, "median_of_means: need at least one group");
+    assert!(
+        values.len() >= groups,
+        "median_of_means: {} values cannot fill {} groups",
+        values.len(),
+        groups
+    );
+    let per = values.len() / groups;
+    let means: Vec<f64> = (0..groups)
+        .map(|g| {
+            let chunk = &values[g * per..(g + 1) * per];
+            chunk.iter().sum::<f64>() / chunk.len() as f64
+        })
+        .collect();
+    median(&means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitions_monotone_in_delta() {
+        let r1 = repetitions_for_confidence(0.1);
+        let r2 = repetitions_for_confidence(0.01);
+        let r3 = repetitions_for_confidence(0.001);
+        assert!(r1 <= r2 && r2 <= r3);
+        assert!(r1 % 2 == 1 && r2 % 2 == 1 && r3 % 2 == 1);
+        assert_eq!(repetitions_for_confidence(0.4), 1);
+    }
+
+    #[test]
+    fn amplification_actually_amplifies() {
+        // A 2/3-correct coin, repeated r times with majority vote, should
+        // fail well under delta = 0.05 empirically.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let delta = 0.05;
+        let r = repetitions_for_confidence(delta);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 2_000;
+        let mut failures = 0;
+        for _ in 0..trials {
+            let votes: Vec<bool> = (0..r).map(|_| rng.gen::<f64>() < 2.0 / 3.0).collect();
+            if !majority_vote(&votes) {
+                failures += 1;
+            }
+        }
+        assert!(
+            (failures as f64) / (trials as f64) < delta,
+            "failure rate {} over delta {}",
+            failures as f64 / trials as f64,
+            delta
+        );
+    }
+
+    #[test]
+    fn majority_vote_basics() {
+        assert!(majority_vote(&[true, true, false]));
+        assert!(!majority_vote(&[true, false, false]));
+        assert!(!majority_vote(&[true, false])); // tie -> reject
+        assert!(majority_vote(&[true]));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.0); // lower median
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn median_of_means_robust_to_outlier() {
+        let mut vals = vec![1.0; 99];
+        vals.push(1e9); // gross outlier
+        let est = median_of_means(&vals, 10);
+        assert!(
+            est < 2.0,
+            "median of means should discard the outlier: {est}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+}

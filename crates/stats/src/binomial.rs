@@ -1,0 +1,287 @@
+//! Binomial distribution: pmf, cdf, and exact sampling.
+//!
+//! Used by the Laplace-estimator analysis (Lemma 3.5, whose expectation
+//! computation is over binomial interval counts) and by the conditional
+//! multinomial sampler in `histo-sampling`.
+
+use crate::special::ln_binomial_coeff;
+use rand::Rng;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial success probability must be in [0,1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n p (1 - p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Log probability mass `ln P[X = k]`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_binomial_coeff(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass `P[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative probability `P[X <= k]` by stable summation.
+    pub fn cdf(&self, k: u64) -> f64 {
+        let k = k.min(self.n);
+        let mut total = 0.0;
+        for i in 0..=k {
+            total += self.pmf(i);
+        }
+        total.min(1.0)
+    }
+
+    /// Draws one sample, exactly.
+    ///
+    /// Strategy: for small `n` (or extreme `p`) run `n` Bernoulli trials; for
+    /// a small mean use waiting-time (geometric skips); otherwise exact CDF
+    /// inversion scanning outward from the mode, expected
+    /// `O(sqrt(n p (1-p)))` work.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        // Exploit symmetry so that p <= 1/2.
+        if self.p > 0.5 {
+            let flipped = Binomial::new(self.n, 1.0 - self.p);
+            return self.n - flipped.sample(rng);
+        }
+        if self.n <= 64 {
+            return (0..self.n).filter(|_| rng.gen::<f64>() < self.p).count() as u64;
+        }
+        let mean = self.mean();
+        if mean < 12.0 {
+            return self.sample_geometric_skips(rng);
+        }
+        self.sample_inversion_from_mode(rng)
+    }
+
+    /// Waiting-time method: the number of failures before each success is
+    /// geometric; accumulate skips until the trials are exhausted. Expected
+    /// `O(n p)` work — the right tool when the mean is tiny.
+    fn sample_geometric_skips<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let ln_q = (1.0 - self.p).ln(); // p < 1 here
+        let mut trials_used = 0u64;
+        let mut successes = 0u64;
+        loop {
+            // Geometric skip: number of failures before next success.
+            let u = rng.gen::<f64>();
+            let skip = (u.ln() / ln_q).floor() as u64;
+            trials_used = trials_used.saturating_add(skip).saturating_add(1);
+            if trials_used > self.n {
+                return successes;
+            }
+            successes += 1;
+        }
+    }
+
+    /// Exact inversion from the mode, mirroring
+    /// [`crate::poisson::Poisson::sample`].
+    fn sample_inversion_from_mode<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = rng.gen::<f64>();
+        let mode = ((self.n + 1) as f64 * self.p).floor().min(self.n as f64) as u64;
+        let p_mode = self.ln_pmf(mode).exp();
+
+        let mut lo = mode;
+        let mut hi = mode;
+        let mut p_lo = p_mode;
+        let mut p_hi = p_mode;
+        let mut cum = p_mode;
+        let odds = self.p / (1.0 - self.p);
+        while cum < 1.0 - 1e-13 {
+            // pmf(k-1) = pmf(k) * k / ((n-k+1) * odds)
+            let down = if lo > 0 {
+                p_lo * lo as f64 / ((self.n - lo + 1) as f64 * odds)
+            } else {
+                0.0
+            };
+            // pmf(k+1) = pmf(k) * (n-k) * odds / (k+1)
+            let up = if hi < self.n {
+                p_hi * (self.n - hi) as f64 * odds / (hi + 1) as f64
+            } else {
+                0.0
+            };
+            if down <= f64::MIN_POSITIVE && up <= f64::MIN_POSITIVE {
+                break;
+            }
+            if down >= up {
+                lo -= 1;
+                p_lo = down;
+                cum += down;
+            } else {
+                hi += 1;
+                p_hi = up;
+                cum += up;
+            }
+        }
+
+        let target = u * cum;
+        let mut acc = 0.0;
+        let mut pk = self.ln_pmf(lo).exp();
+        let mut k = lo;
+        loop {
+            acc += pk;
+            if acc >= target || k >= hi {
+                return k;
+            }
+            k += 1;
+            pk *= (self.n - k + 1) as f64 * odds / k as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (100, 0.01), (1000, 0.5), (50, 0.99)] {
+            let b = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.5).sample(&mut rng), 0);
+    }
+
+    fn check_moments(n: u64, p: f64, trials: usize, seed: u64) {
+        let b = Binomial::new(n, p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let x = b.sample(&mut rng) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        let se = (b.variance() / trials as f64).sqrt();
+        assert!(
+            (mean - b.mean()).abs() < 6.0 * se + 1e-9,
+            "n={n} p={p}: mean {mean} vs {}",
+            b.mean()
+        );
+        assert!(
+            (var - b.variance()).abs() < 0.15 * b.variance() + 0.3,
+            "n={n} p={p}: var {var} vs {}",
+            b.variance()
+        );
+    }
+
+    #[test]
+    fn sampling_moments_bernoulli_path() {
+        check_moments(40, 0.35, 30_000, 21);
+    }
+
+    #[test]
+    fn sampling_moments_geometric_path() {
+        check_moments(100_000, 0.00005, 30_000, 23); // mean 5
+    }
+
+    #[test]
+    fn sampling_moments_inversion_path() {
+        check_moments(10_000, 0.02, 20_000, 25); // mean 200
+        check_moments(1_000_000, 0.001, 5_000, 27); // mean 1000
+    }
+
+    #[test]
+    fn sampling_moments_symmetric_flip() {
+        check_moments(10_000, 0.98, 10_000, 29);
+    }
+
+    #[test]
+    fn goodness_of_fit_inversion() {
+        let b = Binomial::new(2_000, 0.05); // mean 100
+        let mut rng = StdRng::seed_from_u64(31);
+        let trials = 40_000usize;
+        let mut counts = vec![0u64; 301];
+        for _ in 0..trials {
+            let x = (b.sample(&mut rng) as usize).min(300);
+            counts[x] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut dof = 0;
+        for (k, &c) in counts.iter().enumerate() {
+            let e = b.pmf(k as u64) * trials as f64;
+            if e >= 10.0 {
+                chi2 += (c as f64 - e).powi(2) / e;
+                dof += 1;
+            }
+        }
+        assert!(chi2 < 3.0 * dof as f64, "chi2 = {chi2:.1}, dof = {dof}");
+    }
+
+    #[test]
+    fn cdf_matches_summation_and_is_monotone() {
+        let b = Binomial::new(30, 0.4);
+        let mut prev = 0.0;
+        for k in 0..=30 {
+            let c = b.cdf(k);
+            assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        assert!((b.cdf(30) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the statistical primitives.
+
+use histo_stats::{
+    ln_binomial_coeff, ln_factorial, ln_gamma, median, quantile, Binomial, Poisson, RunningStats,
+    WilsonInterval,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Γ(x+1) = x·Γ(x) — the defining recurrence, in log space.
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..200.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "x = {x}: {lhs} vs {rhs}");
+    }
+
+    /// ln k! is increasing and super-additive-ish: ln (a+b)! >= ln a! + ln b!.
+    #[test]
+    fn factorial_monotone_superadditive((a, b) in (0u64..2000, 0u64..2000)) {
+        prop_assert!(ln_factorial(a + 1) >= ln_factorial(a));
+        prop_assert!(ln_factorial(a + b) + 1e-9 >= ln_factorial(a) + ln_factorial(b));
+    }
+
+    /// Pascal's rule in log space: C(n,k) = C(n-1,k-1) + C(n-1,k).
+    #[test]
+    fn pascal_rule((n, k) in (1u64..300, 0u64..300)) {
+        prop_assume!(k >= 1 && k <= n - 1 + 1 && k < n);
+        let lhs = ln_binomial_coeff(n, k).exp();
+        let rhs = ln_binomial_coeff(n - 1, k - 1).exp() + ln_binomial_coeff(n - 1, k).exp();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+    }
+
+    /// Binomial pmf symmetry: pmf(n, p, k) == pmf(n, 1-p, n-k).
+    #[test]
+    fn binomial_symmetry((n, k, p) in (1u64..200, 0u64..200, 0.01f64..0.99)) {
+        prop_assume!(k <= n);
+        let a = Binomial::new(n, p).pmf(k);
+        let b = Binomial::new(n, 1.0 - p).pmf(n - k);
+        prop_assert!((a - b).abs() < 1e-10 * a.max(1e-30));
+    }
+
+    /// Binomial cdf is monotone in k and reaches 1.
+    #[test]
+    fn binomial_cdf_monotone((n, p) in (1u64..100, 0.0f64..=1.0)) {
+        let b = Binomial::new(n, p);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-9);
+    }
+
+    /// Poisson pmf sums to ~1 over a generous window.
+    #[test]
+    fn poisson_mass_conservation(lambda in 0.0f64..300.0) {
+        let p = Poisson::new(lambda);
+        let hi = (lambda + 30.0 * lambda.sqrt() + 40.0) as u64;
+        let total: f64 = (0..=hi).map(|k| p.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "lambda = {lambda}: {total}");
+    }
+
+    /// Poisson mode is near lambda: pmf(floor(lambda)) is maximal among
+    /// neighbors.
+    #[test]
+    fn poisson_mode_location(lambda in 1.0f64..500.0) {
+        let p = Poisson::new(lambda);
+        let mode = lambda.floor() as u64;
+        prop_assert!(p.pmf(mode) + 1e-15 >= p.pmf(mode + 2));
+        if mode >= 2 {
+            prop_assert!(p.pmf(mode) + 1e-15 >= p.pmf(mode - 2));
+        }
+    }
+
+    /// Wilson interval: nested in [0,1], contains the point estimate, and
+    /// shrinks when trials scale up at the same proportion.
+    #[test]
+    fn wilson_properties((s, t_small) in (0u64..100, 1u64..100)) {
+        prop_assume!(s <= t_small);
+        let small = WilsonInterval::ci95(s, t_small);
+        prop_assert!(small.lo >= 0.0 && small.hi <= 1.0);
+        prop_assert!(small.lo <= small.point + 1e-12 && small.point <= small.hi + 1e-12);
+        let big = WilsonInterval::ci95(s * 100, t_small * 100);
+        prop_assert!(big.half_width() <= small.half_width() + 1e-12);
+    }
+
+    /// Median lies within the data range and at least half the data is on
+    /// each side (weak median property).
+    #[test]
+    fn median_properties(v in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let m = median(&v);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        let below = v.iter().filter(|&&x| x <= m).count();
+        let above = v.iter().filter(|&&x| x >= m).count();
+        prop_assert!(2 * below >= v.len());
+        prop_assert!(2 * above >= v.len());
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(v in prop::collection::vec(-1e6f64..1e6, 2..60)) {
+        let q25 = quantile(&v, 0.25);
+        let q50 = quantile(&v, 0.5);
+        let q75 = quantile(&v, 0.75);
+        prop_assert!(q25 <= q50 + 1e-9 && q50 <= q75 + 1e-9);
+        prop_assert!(quantile(&v, 0.0) <= q25 + 1e-9);
+        prop_assert!(q75 <= quantile(&v, 1.0) + 1e-9);
+    }
+
+    /// RunningStats matches direct two-pass computation.
+    #[test]
+    fn running_stats_matches_two_pass(v in prop::collection::vec(-1e3f64..1e3, 2..80)) {
+        let mut s = RunningStats::new();
+        for &x in &v {
+            s.push(x);
+        }
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-9 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-7 * var.max(1.0));
+    }
+}

@@ -1,0 +1,302 @@
+//! Baseline testers the paper improves upon (experiment T4).
+//!
+//! - [`PartitionUniformityTester`] — in the style of \[ILR12\] (and the
+//!   `√(kn)·poly(1/ε)` regime of \[CDGR16\]): adaptively partition the domain
+//!   into `O(k/ε)` near-equal-mass intervals, check the *flattening* is
+//!   close to `H_k`, and test every non-singleton interval's conditional
+//!   distribution for uniformity with a collision tester. A k-histogram has
+//!   at most `k − 1` non-uniform (breakpoint) intervals, so more than
+//!   `k − 1` failing intervals is proof of distance. Sample cost is
+//!   dominated by the per-interval uniformity testing:
+//!   `Θ(√(n·K)/ε²) = Θ(√(kn)/ε^2.5)` — the `√(kn)` coupling of n and k the
+//!   paper's Theorem 1.1 removes.
+//! - [`OfflineLearningTester`] — the trivial `Θ(n/ε²)` anchor from the
+//!   introduction: approximate the whole distribution empirically and
+//!   compute its distance to `H_k` offline with the exact DP.
+
+use crate::approx_part::approx_part;
+use crate::learner::hypothesis_from_interval_counts;
+use crate::{validate_params, Decision, Tester};
+use histo_core::dp::{best_kpiece_fit, blocks_from_distribution, check_close_to_hk};
+use histo_core::empirical::SampleCounts;
+use histo_sampling::oracle::SampleOracle;
+use rand::RngCore;
+
+/// Partition + per-interval-uniformity baseline (ILR12/CDGR16 style).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionUniformityTester {
+    /// `b = b_factor · k / ε` for the adaptive partition.
+    pub b_factor: f64,
+    /// Learner budget `learn_factor · K / ε²`.
+    pub learn_factor: f64,
+    /// Uniformity budget `uniformity_factor · √(n·K) / ε²` (one shared
+    /// batch, routed to intervals).
+    pub uniformity_factor: f64,
+    /// Flattening-to-`H_k` check threshold, as a fraction of ε.
+    pub check_fraction: f64,
+    /// Multiplier widening each interval's collision threshold, to push
+    /// per-interval false-failure probability far below 1/K.
+    pub interval_margin: f64,
+    /// Minimum in-interval sample count to attempt a conditional test.
+    pub min_interval_samples: u64,
+}
+
+impl Default for PartitionUniformityTester {
+    fn default() -> Self {
+        Self {
+            b_factor: 4.0,
+            learn_factor: 4.0,
+            uniformity_factor: 16.0,
+            check_fraction: 0.25,
+            interval_margin: 6.0,
+            min_interval_samples: 25,
+        }
+    }
+}
+
+impl PartitionUniformityTester {
+    /// Total uniformity-batch budget for `n`, `K`, `ε`.
+    pub fn uniformity_samples(&self, n: usize, big_k: usize, epsilon: f64) -> u64 {
+        ((self.uniformity_factor * ((n * big_k.max(1)) as f64).sqrt() / (epsilon * epsilon)).ceil()
+            as u64)
+            .max(10)
+    }
+}
+
+impl Tester for PartitionUniformityTester {
+    fn name(&self) -> &'static str {
+        "partition-uniformity-baseline"
+    }
+
+    fn test(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<Decision> {
+        let n = oracle.n();
+        validate_params(n, k, epsilon)?;
+
+        // Stage 1: adaptive partition (no log k factor here — the baseline
+        // does not sieve, it pays per-interval instead).
+        let b = (self.b_factor * k as f64 / epsilon).max(1.0);
+        let ap_samples = ((b * (b + 2.0).ln() * 4.0).ceil() as u64).max(1);
+        let ap = approx_part(oracle, b, ap_samples, rng)?;
+        let big_k = ap.partition.len();
+
+        // Stage 2: learn the flattening and check it is near H_k.
+        let m_learn =
+            ((self.learn_factor * big_k as f64 / (epsilon * epsilon)).ceil() as u64).max(1);
+        let counts = oracle.draw_counts(m_learn, rng);
+        let interval_counts = counts.interval_counts(&ap.partition)?;
+        let d_hat = hypothesis_from_interval_counts(&ap.partition, &interval_counts, m_learn)?;
+        let counted = vec![true; big_k];
+        if !check_close_to_hk(&d_hat, &counted, k, self.check_fraction * epsilon)? {
+            return Ok(Decision::Reject);
+        }
+
+        // Stage 3: route one big batch into intervals and collision-test
+        // each non-singleton interval's conditional distribution.
+        let m_unif = self.uniformity_samples(n, big_k, epsilon);
+        let batch = oracle.draw_counts(m_unif, rng);
+        let mut failures = 0usize;
+        for (j, iv) in ap.partition.intervals().iter().enumerate() {
+            if iv.is_singleton() {
+                continue;
+            }
+            let in_counts: Vec<u64> = iv.indices().map(|i| batch.count(i)).collect();
+            let c_total: u64 = in_counts.iter().sum();
+            if c_total < self.min_interval_samples {
+                continue;
+            }
+            let q_hat = c_total as f64 / m_unif as f64;
+            // Distance scale this interval must be tested at so that K
+            // intervals each hiding eps_j of conditional distance cannot
+            // sum to more than ~eps/4 undetected.
+            let eps_j = (epsilon / (4.0 * big_k as f64 * q_hat)).clamp(epsilon / 16.0, 0.999);
+            let cond = SampleCounts::from_counts(in_counts).expect("non-empty interval");
+            // Widened threshold: reject the interval only when collisions
+            // exceed (1 + margin·2ε_j²)·C(c,2)/w.
+            let pairs = (c_total * (c_total - 1) / 2) as f64;
+            let w = iv.len() as f64;
+            let threshold = (1.0 + self.interval_margin * 2.0 * eps_j * eps_j) * pairs / w;
+            if (cond.collisions() as f64) > threshold {
+                failures += 1;
+            }
+            let _ = j;
+        }
+        if failures >= k {
+            Ok(Decision::Reject)
+        } else {
+            Ok(Decision::Accept)
+        }
+    }
+}
+
+/// The `Θ(n/ε²)` offline anchor: learn everything, decide offline.
+#[derive(Debug, Clone, Copy)]
+pub struct OfflineLearningTester {
+    /// Sample budget `sample_factor · n / ε²`.
+    pub sample_factor: f64,
+    /// Accept iff the empirical distance lower bound is `<= accept_fraction
+    /// · ε`.
+    pub accept_fraction: f64,
+}
+
+impl Default for OfflineLearningTester {
+    fn default() -> Self {
+        Self {
+            sample_factor: 4.0,
+            accept_fraction: 0.5,
+        }
+    }
+}
+
+impl OfflineLearningTester {
+    /// Sample budget for `n`, `ε`.
+    pub fn samples(&self, n: usize, epsilon: f64) -> u64 {
+        ((self.sample_factor * n as f64 / (epsilon * epsilon)).ceil() as u64).max(1)
+    }
+}
+
+impl Tester for OfflineLearningTester {
+    fn name(&self) -> &'static str {
+        "offline-learning-baseline"
+    }
+
+    fn test(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<Decision> {
+        let n = oracle.n();
+        validate_params(n, k, epsilon)?;
+        let m = self.samples(n, epsilon);
+        let counts = oracle.draw_counts(m, rng);
+        let empirical = counts.empirical()?;
+        let fit = best_kpiece_fit(&blocks_from_distribution(&empirical), k)?;
+        let lower = fit.l1_cost / 2.0;
+        if lower <= self.accept_fraction * epsilon {
+            Ok(Decision::Accept)
+        } else {
+            Ok(Decision::Reject)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::Distribution;
+    use histo_sampling::generators::{
+        amplitude_for_certified_distance, sawtooth_perturbation, staircase,
+    };
+    use histo_sampling::DistOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rate(t: &dyn Tester, d: &Distribution, k: usize, eps: f64, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepts = 0;
+        for _ in 0..trials {
+            let mut o = DistOracle::new(d.clone());
+            if t.test(&mut o, k, eps, &mut rng).unwrap().accepted() {
+                accepts += 1;
+            }
+        }
+        accepts as f64 / trials as f64
+    }
+
+    #[test]
+    fn offline_accepts_members() {
+        let d = staircase(200, 3).unwrap().to_distribution().unwrap();
+        let t = OfflineLearningTester::default();
+        let r = rate(&t, &d, 3, 0.3, 15, 111);
+        assert!(r >= 0.85, "rate {r}");
+    }
+
+    #[test]
+    fn offline_rejects_far() {
+        let base = staircase(200, 3).unwrap();
+        let eps = 0.3;
+        let c = amplitude_for_certified_distance(&base, 3, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(113);
+        let inst = sawtooth_perturbation(&base, 3, c.min(0.95), &mut rng).unwrap();
+        let t = OfflineLearningTester::default();
+        let r = rate(&t, &inst.dist, 3, eps, 15, 117);
+        assert!(r <= 0.15, "rate {r}");
+    }
+
+    #[test]
+    fn offline_sample_budget_is_linear_in_n() {
+        let t = OfflineLearningTester::default();
+        assert_eq!(t.samples(1000, 0.5), 2 * t.samples(500, 0.5));
+    }
+
+    #[test]
+    fn partition_baseline_accepts_members() {
+        let d = staircase(600, 3).unwrap().to_distribution().unwrap();
+        let t = PartitionUniformityTester::default();
+        let r = rate(&t, &d, 3, 0.3, 15, 119);
+        assert!(r >= 0.7, "rate {r}");
+    }
+
+    #[test]
+    fn partition_baseline_accepts_uniform() {
+        let d = Distribution::uniform(500).unwrap();
+        let t = PartitionUniformityTester::default();
+        let r = rate(&t, &d, 1, 0.3, 15, 121);
+        assert!(r >= 0.7, "rate {r}");
+    }
+
+    #[test]
+    fn partition_baseline_rejects_sawtooth() {
+        // The sawtooth hides entirely inside intervals (flattening looks
+        // perfect), so only the conditional uniformity stage can catch it —
+        // exactly what this baseline is for.
+        let base = staircase(600, 3).unwrap();
+        let eps = 0.3;
+        let c = amplitude_for_certified_distance(&base, 3, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let inst = sawtooth_perturbation(&base, 3, c.min(0.95), &mut rng).unwrap();
+        let t = PartitionUniformityTester::default();
+        let r = rate(&t, &inst.dist, 3, eps, 15, 127);
+        assert!(r <= 0.3, "rate {r}");
+    }
+
+    #[test]
+    fn partition_baseline_rejects_bad_flattening() {
+        // A distribution whose flattening is itself far from H_1: geometric
+        // decay tested against H_1.
+        let d = histo_sampling::generators::geometric(400, 0.98).unwrap();
+        let t = PartitionUniformityTester::default();
+        let r = rate(&t, &d, 1, 0.4, 15, 131);
+        assert!(r <= 0.3, "rate {r}");
+    }
+
+    #[test]
+    fn budgets_scale_as_sqrt_kn() {
+        let t = PartitionUniformityTester::default();
+        let m1 = t.uniformity_samples(1_000, 10, 0.3);
+        let m2 = t.uniformity_samples(4_000, 10, 0.3);
+        // 4x n -> 2x samples.
+        let ratio = m2 as f64 / m1 as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn validation() {
+        let d = Distribution::uniform(10).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(137);
+        assert!(PartitionUniformityTester::default()
+            .test(&mut o, 0, 0.3, &mut rng)
+            .is_err());
+        assert!(OfflineLearningTester::default()
+            .test(&mut o, 1, 0.0, &mut rng)
+            .is_err());
+    }
+}

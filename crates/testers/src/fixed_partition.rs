@@ -1,0 +1,172 @@
+//! Testing histogram-ness with respect to a *known* partition — the easier
+//! problem studied by Diakonikolas and Kane \[DK16\], mentioned in
+//! Section 1.2 of the paper.
+//!
+//! Given an explicit partition `Π` of `\[n\]` into at most `k` intervals,
+//! decide whether `D` is constant on every interval of `Π` (i.e. `D` equals
+//! its own flattening over `Π`) or `ε`-far from every such distribution.
+//!
+//! Because the candidate class is now a *single* learnable point — the
+//! flattening of `D` itself — no sieving is needed: learn the interval
+//! masses with `O(k/ε²)` samples (the flattening of a conforming `D` is
+//! `D`, so the Laplace learner is χ²-accurate on the whole domain), then
+//! run the \[ADK15\] χ² tester once. Total `O(√n/ε² + k/ε²)` samples,
+//! matching the \[DK16\] rate up to constants.
+
+use crate::adk::ChiSquareTest;
+use crate::config::TesterConfig;
+use crate::learner::hypothesis_from_interval_counts;
+use crate::{Decision, Tester};
+use histo_core::{HistoError, Partition};
+use histo_sampling::oracle::SampleOracle;
+use rand::RngCore;
+
+/// Tester for "is `D` a histogram with respect to this explicit partition".
+#[derive(Debug, Clone)]
+pub struct FixedPartitionTester {
+    partition: Partition,
+    config: TesterConfig,
+}
+
+impl FixedPartitionTester {
+    /// Builds the tester for the given partition.
+    pub fn new(partition: Partition, config: TesterConfig) -> Self {
+        Self { partition, config }
+    }
+
+    /// The partition under test.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Runs the test at distance `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::DomainMismatch`] if the oracle's domain differs
+    /// from the partition's, or parameter errors for a bad `epsilon`.
+    pub fn run(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Decision, HistoError> {
+        if oracle.n() != self.partition.n() {
+            return Err(HistoError::DomainMismatch {
+                left: oracle.n(),
+                right: self.partition.n(),
+            });
+        }
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(HistoError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("need epsilon in (0,1], got {epsilon}"),
+            });
+        }
+        // Learn the flattening: eps_learn chosen so the chi2 error is well
+        // under the ADK completeness threshold eps^2/500 (practical preset:
+        // same divisor the main algorithm uses).
+        let eps_learn = epsilon / self.config.learner_eps_divisor;
+        let m_learn = self.config.learner_samples(self.partition.len(), eps_learn);
+        let counts = oracle.draw_counts(m_learn, rng);
+        let interval_counts = counts.interval_counts(&self.partition)?;
+        let d_hat = hypothesis_from_interval_counts(&self.partition, &interval_counts, m_learn)?;
+        let test = ChiSquareTest::full_domain(d_hat, epsilon, &self.config)?;
+        Ok(test.run(oracle, rng))
+    }
+}
+
+impl Tester for FixedPartitionTester {
+    fn name(&self) -> &'static str {
+        "fixed-partition-tester"
+    }
+
+    /// The `k` argument is ignored (the partition already fixes the pieces);
+    /// it is validated for consistency only.
+    fn test(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        _k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<Decision> {
+        self.run(oracle, epsilon, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::{Distribution, KHistogram};
+    use histo_sampling::DistOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rate(t: &FixedPartitionTester, d: &Distribution, eps: f64, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepts = 0;
+        for _ in 0..trials {
+            let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+            if t.run(&mut o, eps, &mut rng).unwrap().accepted() {
+                accepts += 1;
+            }
+        }
+        accepts as f64 / trials as f64
+    }
+
+    #[test]
+    fn accepts_conforming_distribution() {
+        let n = 400;
+        let p = Partition::from_starts(n, &[0, 100, 250]).unwrap();
+        let d = KHistogram::from_interval_masses(p.clone(), vec![0.5, 0.2, 0.3])
+            .unwrap()
+            .to_distribution()
+            .unwrap();
+        let t = FixedPartitionTester::new(p, TesterConfig::practical());
+        let r = rate(&t, &d, 0.25, 20, 211);
+        assert!(r >= 0.8, "rate {r}");
+    }
+
+    #[test]
+    fn rejects_within_interval_structure() {
+        // Conforms at the flattening level but varies inside intervals.
+        let n = 400;
+        let p = Partition::from_starts(n, &[0, 200]).unwrap();
+        let d = Distribution::from_weights(
+            (0..n).map(|i| if i % 2 == 0 { 1.7 } else { 0.3 }).collect(),
+        )
+        .unwrap();
+        let t = FixedPartitionTester::new(p, TesterConfig::practical());
+        let r = rate(&t, &d, 0.3, 20, 223);
+        assert!(r <= 0.2, "rate {r}");
+    }
+
+    #[test]
+    fn rejects_misaligned_histogram() {
+        // D is a genuine 2-histogram, but with its breakpoint far from the
+        // partition's: w.r.t. THIS partition it is far from conforming.
+        let n = 400;
+        let true_p = Partition::from_starts(n, &[0, 100]).unwrap();
+        let d = KHistogram::from_interval_masses(true_p, vec![0.7, 0.3])
+            .unwrap()
+            .to_distribution()
+            .unwrap();
+        let tested_p = Partition::from_starts(n, &[0, 300]).unwrap();
+        let t = FixedPartitionTester::new(tested_p, TesterConfig::practical());
+        let r = rate(&t, &d, 0.25, 20, 227);
+        assert!(r <= 0.2, "rate {r}");
+    }
+
+    #[test]
+    fn domain_mismatch_errors() {
+        let p = Partition::trivial(10).unwrap();
+        let t = FixedPartitionTester::new(p, TesterConfig::practical());
+        let d = Distribution::uniform(20).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(229);
+        assert!(t.run(&mut o, 0.3, &mut rng).is_err());
+        let d10 = Distribution::uniform(10).unwrap();
+        let mut o = DistOracle::new(d10);
+        assert!(t.run(&mut o, 0.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Algorithm 1 assembled: the paper's tester for the class `H_k`.
+//!
+//! ```text
+//! 1.  b = 20·k·log k / ε
+//! 2.  ApproxPart(b)            -> partition I (K intervals)    [Prop 3.4]
+//! 3.  Learner(K, ε/60, I)      -> hypothesis D̂ ∈ H_K           [Lemma 3.5]
+//! 4.  Sieve                    -> discard O(k log k) intervals  [§3.2.1]
+//! 5.  Check ∃D*∈H_k close to D̂ on G, else reject       [CDGR16 Lem 4.11]
+//! 6.  ADK χ² test of D vs D̂ on G at ε' = 13ε/30         [Thm 3.2]
+//! ```
+//!
+//! Sample complexity `O(√n/ε²·log k + k/ε³·log²k + (k/ε)·log(k/ε))`
+//! (Theorem 3.1); running time `√n·poly(log k, 1/ε) + poly(k, 1/ε)`.
+
+use crate::adk::ChiSquareTest;
+use crate::approx_part::approx_part;
+use crate::config::TesterConfig;
+use crate::learner::learn;
+use crate::sieve::{sieve, SieveOutcome};
+use crate::{validate_params, Decision, Tester};
+use histo_core::dp::check_close_to_hk;
+use histo_core::KHistogram;
+use histo_sampling::oracle::SampleOracle;
+use rand::RngCore;
+
+/// Stage toggles for ablation studies (experiment A1): disabling a stage
+/// shows what it buys. Defaults to everything enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ablation {
+    /// Run the sieving stage (Section 3.2.1). Without it, breakpoint
+    /// intervals poison the final χ² test and completeness collapses.
+    pub sieve: bool,
+    /// Run the Check step (Step 10). Without it, hypotheses far from `H_k`
+    /// but close to `D` are accepted and soundness collapses on
+    /// many-pieces instances.
+    pub check: bool,
+    /// Restrict the final test to `A_ε` (the light-element cutoff of
+    /// Proposition 3.3). Without it, near-zero hypothesis masses blow up
+    /// the statistic's variance.
+    pub aeps_cutoff: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            sieve: true,
+            check: true,
+            aeps_cutoff: true,
+        }
+    }
+}
+
+/// The paper's tester (Algorithm 1), parameterized by a [`TesterConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramTester {
+    config: TesterConfig,
+    ablation: Ablation,
+}
+
+/// A trace of one run of Algorithm 1, for the experiment harness and
+/// debugging.
+#[derive(Debug, Clone)]
+pub struct TesterTrace {
+    /// The final decision.
+    pub decision: Decision,
+    /// Which step decided: `"sieve"`, `"check"`, `"chi2"`, or `"accept"`.
+    pub decided_by: &'static str,
+    /// Size `K` of the ApproxPart partition.
+    pub partition_size: usize,
+    /// The sieve outcome.
+    pub sieve: Option<SieveOutcome>,
+    /// The learned hypothesis.
+    pub hypothesis: Option<KHistogram>,
+    /// Samples drawn in total (as counted by the oracle delta).
+    pub samples_used: u64,
+}
+
+impl HistogramTester {
+    /// A tester with the given constants.
+    pub fn new(config: TesterConfig) -> Self {
+        Self {
+            config,
+            ablation: Ablation::default(),
+        }
+    }
+
+    /// Disables stages for ablation studies.
+    pub fn with_ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// The paper's constants (Theorem 3.1 exactly).
+    pub fn paper() -> Self {
+        Self::new(TesterConfig::paper())
+    }
+
+    /// Calibrated constants for laptop-scale experiments.
+    pub fn practical() -> Self {
+        Self::new(TesterConfig::practical())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TesterConfig {
+        &self.config
+    }
+
+    /// Runs the algorithm and returns the full trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors.
+    pub fn test_traced(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<TesterTrace> {
+        let n = oracle.n();
+        validate_params(n, k, epsilon)?;
+        let start = oracle.samples_drawn();
+        let cfg = &self.config;
+
+        // Steps 1–3: ApproxPart.
+        let b = cfg.b(k, epsilon).max(1.0);
+        let ap_samples = cfg.approx_part_samples(b);
+        let ap = approx_part(oracle, b, ap_samples, rng)?;
+        let partition_size = ap.partition.len();
+
+        // Step 4: Learner.
+        let eps_learn = epsilon / cfg.learner_eps_divisor;
+        let m_learn = cfg.learner_samples(partition_size, eps_learn);
+        let d_hat = learn(oracle, &ap.partition, m_learn, rng)?;
+
+        // Steps 6–8: Sieve (skippable for ablation).
+        let sieve_out = if self.ablation.sieve {
+            sieve(oracle, &d_hat, k, epsilon, cfg, rng)?
+        } else {
+            crate::sieve::SieveOutcome {
+                rejected: false,
+                discarded: vec![],
+                rounds_used: 0,
+                early_accept: false,
+            }
+        };
+        if sieve_out.rejected {
+            return Ok(TesterTrace {
+                decision: Decision::Reject,
+                decided_by: "sieve",
+                partition_size,
+                sieve: Some(sieve_out),
+                hypothesis: Some(d_hat),
+                samples_used: oracle.samples_drawn() - start,
+            });
+        }
+        let surviving = sieve_out.surviving(partition_size);
+
+        // Step 10: Check — some D* ∈ H_k must be close to D̂ on G.
+        let mut counted = vec![false; partition_size];
+        for &j in &surviving {
+            counted[j] = true;
+        }
+        let check_ok = !self.ablation.check
+            || check_close_to_hk(&d_hat, &counted, k, epsilon / cfg.check_divisor)?;
+        if !check_ok {
+            return Ok(TesterTrace {
+                decision: Decision::Reject,
+                decided_by: "check",
+                partition_size,
+                sieve: Some(sieve_out),
+                hypothesis: Some(d_hat),
+                samples_used: oracle.samples_drawn() - start,
+            });
+        }
+
+        // Steps 12–13: final χ² test on the surviving domain.
+        let eps_prime = cfg.final_eps_factor * epsilon;
+        let mut cfg_final = *cfg;
+        if !self.ablation.aeps_cutoff {
+            cfg_final.aeps_fraction = 0.0;
+        }
+        let chi2 = ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)?;
+        let decision = chi2.run(oracle, rng);
+        Ok(TesterTrace {
+            decided_by: if decision.accepted() {
+                "accept"
+            } else {
+                "chi2"
+            },
+            decision,
+            partition_size,
+            sieve: Some(sieve_out),
+            hypothesis: Some(d_hat),
+            samples_used: oracle.samples_drawn() - start,
+        })
+    }
+}
+
+impl Tester for HistogramTester {
+    fn name(&self) -> &'static str {
+        "canonne-histogram-tester"
+    }
+
+    fn test(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<Decision> {
+        Ok(self.test_traced(oracle, k, epsilon, rng)?.decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::Distribution;
+    use histo_sampling::generators::{
+        amplitude_for_certified_distance, random_k_histogram, sawtooth_perturbation, staircase,
+    };
+    use histo_sampling::DistOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acceptance_rate(d: &Distribution, k: usize, eps: f64, trials: usize, seed: u64) -> f64 {
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepts = 0usize;
+        for _ in 0..trials {
+            let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+            if tester.test(&mut o, k, eps, &mut rng).unwrap().accepted() {
+                accepts += 1;
+            }
+        }
+        accepts as f64 / trials as f64
+    }
+
+    #[test]
+    fn accepts_uniform_as_one_histogram() {
+        let d = Distribution::uniform(500).unwrap();
+        let rate = acceptance_rate(&d, 1, 0.3, 20, 61);
+        assert!(rate >= 0.8, "acceptance rate {rate}");
+    }
+
+    #[test]
+    fn accepts_staircase_member() {
+        let d = staircase(600, 4).unwrap().to_distribution().unwrap();
+        let rate = acceptance_rate(&d, 4, 0.3, 20, 67);
+        assert!(rate >= 0.75, "acceptance rate {rate}");
+    }
+
+    #[test]
+    fn accepts_random_histograms() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..3 {
+            let h = random_k_histogram(400, 5, &mut rng).unwrap();
+            let d = h.to_distribution().unwrap();
+            let rate = acceptance_rate(&d, 5, 0.35, 12, 73);
+            assert!(rate >= 0.7, "acceptance rate {rate}");
+        }
+    }
+
+    #[test]
+    fn rejects_certified_far_instance() {
+        let base = staircase(600, 3).unwrap();
+        let eps = 0.3;
+        let c = amplitude_for_certified_distance(&base, 3, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(79);
+        let inst = sawtooth_perturbation(&base, 3, c.min(0.95), &mut rng).unwrap();
+        assert!(inst.tv_to_hk_lower >= eps - 1e-9);
+        let rate = acceptance_rate(&inst.dist, 3, eps, 20, 83);
+        assert!(
+            rate <= 0.25,
+            "acceptance rate {rate} on a certified far instance"
+        );
+    }
+
+    #[test]
+    fn rejects_zigzag_far_from_one_histogram() {
+        // Alternating heavy/light: far from uniform = H_1.
+        let n = 400;
+        let d = Distribution::from_weights(
+            (0..n).map(|i| if i % 2 == 0 { 1.7 } else { 0.3 }).collect(),
+        )
+        .unwrap();
+        let rate = acceptance_rate(&d, 1, 0.3, 20, 89);
+        assert!(rate <= 0.25, "acceptance rate {rate}");
+    }
+
+    #[test]
+    fn trace_reports_sample_usage_and_stage() {
+        let d = Distribution::uniform(300).unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(97);
+        let mut o = DistOracle::new(d).with_fast_poissonization();
+        let trace = tester.test_traced(&mut o, 2, 0.4, &mut rng).unwrap();
+        assert!(trace.samples_used > 0);
+        assert_eq!(trace.samples_used, o.samples_drawn());
+        assert!(trace.partition_size >= 1);
+        assert!(["sieve", "check", "chi2", "accept"].contains(&trace.decided_by));
+        assert!(trace.hypothesis.is_some());
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        let d = Distribution::uniform(10).unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut o = DistOracle::new(d);
+        assert!(tester.test(&mut o, 0, 0.5, &mut rng).is_err());
+        assert!(tester.test(&mut o, 1, 2.0, &mut rng).is_err());
+        assert!(tester.test(&mut o, 11, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_pieces_still_accepts() {
+        // Testing H_6 on a 3-histogram must accept (H_3 ⊂ H_6).
+        let d = staircase(600, 3).unwrap().to_distribution().unwrap();
+        let rate = acceptance_rate(&d, 6, 0.3, 15, 103);
+        assert!(rate >= 0.75, "acceptance rate {rate}");
+    }
+}

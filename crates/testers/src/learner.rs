@@ -1,0 +1,237 @@
+//! The Learner of Lemma 3.5: a Laplace (add-one) estimator over a fixed
+//! interval partition.
+//!
+//! Given a partition `I = {I_1, …, I_ℓ}` and `m` samples, the hypothesis is
+//!
+//! ```text
+//! D̂(j) = (m_{I_i} + 1) / (m + ℓ) · 1/|I_i|      for j ∈ I_i,
+//! ```
+//!
+//! following the analysis of the Laplace estimator in \[KOPS15\]. For
+//! `m = O(ℓ/ε²)`: if `D ∈ H_k` and `J` is the set of breakpoint intervals
+//! of `D` w.r.t. `I` (at most `k − 1` of them), then with probability 9/10
+//! `dχ²(D̃^J ‖ D̂) <= ε²`, where `D̃^J` flattens `D` on `J` and keeps it
+//! pointwise elsewhere (the paper's learning lemma; for `D ∈ H_k` this is
+//! exactly the full flattening of `D`). Equivalently: `D̂` is χ²-close to
+//! the flattening of `D` wherever flattening is faithful.
+
+use histo_core::{HistoError, KHistogram, Partition};
+use histo_sampling::oracle::SampleOracle;
+use rand::RngCore;
+
+/// Runs the Laplace learner over `partition` with `m` samples, returning
+/// the learned `ℓ`-flat hypothesis.
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] if `m == 0` or the oracle's
+/// domain does not match the partition.
+pub fn learn(
+    oracle: &mut dyn SampleOracle,
+    partition: &Partition,
+    m: u64,
+    rng: &mut dyn RngCore,
+) -> Result<KHistogram, HistoError> {
+    if m == 0 {
+        return Err(HistoError::InvalidParameter {
+            name: "m",
+            reason: "need at least one sample".into(),
+        });
+    }
+    if oracle.n() != partition.n() {
+        return Err(HistoError::DomainMismatch {
+            left: oracle.n(),
+            right: partition.n(),
+        });
+    }
+    let counts = oracle.draw_counts(m, rng);
+    let interval_counts = counts.interval_counts(partition)?;
+    hypothesis_from_interval_counts(partition, &interval_counts, m)
+}
+
+/// The deterministic estimator given interval counts — exposed so tests
+/// and the Poissonized variants can reuse it.
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] on a count/partition length
+/// mismatch.
+pub fn hypothesis_from_interval_counts(
+    partition: &Partition,
+    interval_counts: &[u64],
+    m: u64,
+) -> Result<KHistogram, HistoError> {
+    let ell = partition.len();
+    if interval_counts.len() != ell {
+        return Err(HistoError::InvalidParameter {
+            name: "interval_counts",
+            reason: format!("{} counts for {} intervals", interval_counts.len(), ell),
+        });
+    }
+    let denom = (m + ell as u64) as f64;
+    let levels: Vec<f64> = partition
+        .intervals()
+        .iter()
+        .zip(interval_counts)
+        .map(|(iv, &c)| (c as f64 + 1.0) / denom / iv.len() as f64)
+        .collect();
+    KHistogram::new(partition.clone(), levels)
+}
+
+/// The paper's guarantee target: the χ² divergence `dχ²(D̃^J ‖ D̂)` where
+/// `J` are the breakpoint intervals of `d` w.r.t. the partition and `D̃^J`
+/// flattens `d` on `J` while keeping it pointwise elsewhere (for
+/// `d ∈ H_k`, `D̃^J` is exactly the full flattening). Used by tests and
+/// experiment T6 to verify Lemma 3.5 empirically.
+///
+/// # Errors
+///
+/// Propagates domain-mismatch errors.
+pub fn learning_error(
+    d: &histo_core::Distribution,
+    hypothesis: &KHistogram,
+) -> Result<f64, HistoError> {
+    let partition = hypothesis.partition();
+    // The paper's D̃^J flattens the breakpoint intervals J and keeps D
+    // pointwise elsewhere; `flatten_except` flattens everything NOT kept,
+    // so we keep the complement of J.
+    let breakpoints = breakpoint_intervals(d, partition);
+    let keep: Vec<usize> = (0..partition.len())
+        .filter(|j| !breakpoints.contains(j))
+        .collect();
+    let flattened = d.flatten_except(partition, &keep)?;
+    let hyp_dense = hypothesis.to_distribution()?;
+    histo_core::distance::chi_square(&flattened, &hyp_dense)
+}
+
+/// Indices of the breakpoint intervals of `d` w.r.t. `partition`: intervals
+/// containing an index `i` with `D(i) != D(i+1)` strictly inside them or
+/// crossing their right boundary is *not* counted (a breakpoint *at* the
+/// boundary is compatible with flatness on both sides).
+pub fn breakpoint_intervals(d: &histo_core::Distribution, partition: &Partition) -> Vec<usize> {
+    let mut out = vec![];
+    for (j, iv) in partition.intervals().iter().enumerate() {
+        let inner_break = (iv.lo()..iv.hi().saturating_sub(1)).any(|i| d.mass(i) != d.mass(i + 1));
+        if inner_break {
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::Distribution;
+    use histo_sampling::generators::staircase;
+    use histo_sampling::DistOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hypothesis_is_normalized_histogram() {
+        let p = Partition::from_starts(10, &[0, 4, 7]).unwrap();
+        let h = hypothesis_from_interval_counts(&p, &[10, 5, 5], 20).unwrap();
+        // (10+1)/(20+3) + (5+1)/23 + (5+1)/23 = 23/23 = 1.
+        let total: f64 = (0..3).map(|j| h.interval_mass(j)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(hypothesis_from_interval_counts(&p, &[1, 2], 3).is_err());
+    }
+
+    #[test]
+    fn add_one_smoothing_never_zero() {
+        let p = Partition::from_starts(6, &[0, 3]).unwrap();
+        let h = hypothesis_from_interval_counts(&p, &[0, 100], 100).unwrap();
+        assert!(h.levels()[0] > 0.0, "unseen interval keeps positive mass");
+    }
+
+    #[test]
+    fn breakpoint_interval_detection() {
+        // 2-histogram with breakpoint at index 4->5 (values change there).
+        let d = Distribution::new(vec![
+            0.15, 0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05, 0.05,
+        ])
+        .unwrap();
+        // Partition cutting exactly at the breakpoint: no breakpoint
+        // intervals.
+        let aligned = Partition::from_starts(10, &[0, 5]).unwrap();
+        assert!(breakpoint_intervals(&d, &aligned).is_empty());
+        // Partition cutting elsewhere: the interval containing [3, 7)
+        // straddles the change.
+        let misaligned = Partition::from_starts(10, &[0, 3, 7]).unwrap();
+        assert_eq!(breakpoint_intervals(&d, &misaligned), vec![1]);
+    }
+
+    #[test]
+    fn learner_converges_on_true_histogram() {
+        // D is a 3-histogram; partition refines its pieces, so there are no
+        // breakpoint intervals and the chi2 error should decay ~ ell/m.
+        let d = staircase(60, 3).unwrap().to_distribution().unwrap();
+        let p = Partition::equal_width(60, 12).unwrap(); // refines the pieces
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        let reps = 10;
+        for _ in 0..reps {
+            let mut o = DistOracle::new(d.clone());
+            let h = learn(&mut o, &p, 500, &mut rng).unwrap();
+            err_small += learning_error(&d, &h).unwrap();
+            let mut o = DistOracle::new(d.clone());
+            let h = learn(&mut o, &p, 20_000, &mut rng).unwrap();
+            err_large += learning_error(&d, &h).unwrap();
+        }
+        assert!(
+            err_large < err_small / 4.0,
+            "chi2 error should shrink with m: m=500 -> {err_small}, m=20000 -> {err_large}"
+        );
+        // And the absolute level at m = 20000, ell = 12 should be well under
+        // eps^2 for eps = 0.2 (expected ~ ell/m = 6e-4).
+        assert!(err_large / reps as f64 <= 0.04);
+    }
+
+    #[test]
+    fn learning_lemma_expectation_bound() {
+        // Lemma 3.5's proof shows E[chi2] <= ell/m. Verify empirically with
+        // a misaligned partition (breakpoint intervals excluded by D̃^J).
+        let d = staircase(64, 4).unwrap().to_distribution().unwrap();
+        let p = Partition::from_starts(64, &[0, 10, 30, 50]).unwrap();
+        let ell = p.len() as f64;
+        let m = 5_000u64;
+        let mut rng = StdRng::seed_from_u64(29);
+        let reps = 40;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let mut o = DistOracle::new(d.clone());
+            let h = learn(&mut o, &p, m, &mut rng).unwrap();
+            total += learning_error(&d, &h).unwrap();
+        }
+        let mean = total / reps as f64;
+        // Bound is ell/m = 8e-4; allow generous slack for estimation noise.
+        assert!(
+            mean <= 5.0 * ell / m as f64,
+            "mean chi2 error {mean} exceeds 5*ell/m = {}",
+            5.0 * ell / m as f64
+        );
+    }
+
+    #[test]
+    fn sample_accounting() {
+        let d = Distribution::uniform(20).unwrap();
+        let p = Partition::equal_width(20, 4).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(31);
+        learn(&mut o, &p, 123, &mut rng).unwrap();
+        assert_eq!(o.samples_drawn(), 123);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = Distribution::uniform(20).unwrap();
+        let p = Partition::equal_width(10, 2).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(37);
+        assert!(learn(&mut o, &p, 100, &mut rng).is_err()); // domain mismatch
+        let p20 = Partition::equal_width(20, 2).unwrap();
+        assert!(learn(&mut o, &p20, 0, &mut rng).is_err());
+    }
+}

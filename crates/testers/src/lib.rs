@@ -1,0 +1,140 @@
+#![warn(missing_docs)]
+
+//! # histo-testers
+//!
+//! The paper's k-histogram tester and every subroutine it composes, plus
+//! the baselines it is compared against.
+//!
+//! ## The paper's algorithm (Algorithm 1)
+//!
+//! [`HistogramTester`](histogram_tester::HistogramTester) assembles:
+//!
+//! 1. [`approx_part`] — ApproxPart (Proposition 3.4): adaptive partition of
+//!    `\[n\]` into `K = O(k log k / ε)` intervals of roughly `1/b` mass each,
+//!    heavy elements isolated as singletons.
+//! 2. [`learner`] — the Laplace (add-one) estimator of Lemma 3.5, learning
+//!    a `K`-flat hypothesis `D̂` that is χ²-close to the flattening of `D`
+//!    outside `D`'s breakpoint intervals whenever `D ∈ H_k`.
+//! 3. [`sieve`] — Section 3.2.1: iteratively removes up to `O(k log k)`
+//!    intervals whose χ² statistics `Z_j` (Proposition 3.3) are outliers.
+//! 4. The **Check** step — `histo_core::dp::check_close_to_hk`, verifying
+//!    `D̂` is close to some k-histogram on the surviving domain `G`.
+//! 5. [`adk`] — the χ²-vs-TV tester of \[ADK15\] (Theorem 3.2), restricted to
+//!    `G`, as the final verification.
+//!
+//! ## Baselines
+//!
+//! - [`uniformity`] — collision-based and coincidence-style uniformity
+//!   testers (the `k = 1` special case, and the engine of the baselines).
+//! - [`baselines`] — a partition+per-interval-uniformity tester in the
+//!   style of \[ILR12\]/\[CDGR16\] (`√(kn)·poly(1/ε)` samples) and the trivial
+//!   `Θ(n/ε²)` offline-learning tester the introduction contrasts against.
+//! - [`fixed_partition`] — the easier task of \[DK16\]: testing histogram-ness
+//!   *with respect to a known partition* `Π`.
+//!
+//! ## Applications
+//!
+//! - [`model_selection`] — the introduction's motivating application:
+//!   doubling search for the smallest `k` such that the data is
+//!   `ε`-approximable by a k-histogram.
+//! - [`agnostic`] — the \[ADLS15\]-style agnostic k-histogram learner the
+//!   introduction pairs with the tester (find k̂ by testing, then learn the
+//!   sketch with `O(k/ε³)` samples).
+//!
+//! All testers implement [`Tester`]; they interact with the unknown
+//! distribution only through a counting [`SampleOracle`], so every
+//! experiment reports *measured* sample complexity.
+
+pub mod adk;
+pub mod agnostic;
+pub mod approx_part;
+pub mod baselines;
+pub mod config;
+pub mod fixed_partition;
+pub mod histogram_tester;
+pub mod learner;
+pub mod model_selection;
+pub mod sieve;
+pub mod uniformity;
+
+use histo_sampling::oracle::SampleOracle;
+use rand::RngCore;
+
+/// Outcome of a property test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The tester believes the distribution has the property.
+    Accept,
+    /// The tester believes the distribution is ε-far from the property.
+    Reject,
+}
+
+impl Decision {
+    /// `true` iff `Accept`.
+    pub fn accepted(&self) -> bool {
+        matches!(self, Decision::Accept)
+    }
+}
+
+/// A testing algorithm for the class `H_k`: decides, with error probability
+/// at most 1/3 on both sides, whether the oracle's distribution is a
+/// k-histogram or ε-far from all of them in total variation.
+pub trait Tester {
+    /// Short stable identifier used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the test. Draws samples only through `oracle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors; never errors on sample data.
+    fn test(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> histo_core::Result<Decision>;
+}
+
+/// Validates the standard `(k, epsilon)` testing parameters against a
+/// domain of size `n`.
+pub(crate) fn validate_params(n: usize, k: usize, epsilon: f64) -> histo_core::Result<()> {
+    if n == 0 {
+        return Err(histo_core::HistoError::EmptyDomain);
+    }
+    if k == 0 || k > n {
+        return Err(histo_core::HistoError::InvalidParameter {
+            name: "k",
+            reason: format!("need 1 <= k <= n, got k = {k}, n = {n}"),
+        });
+    }
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(histo_core::HistoError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("need epsilon in (0, 1], got {epsilon}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::Accept.accepted());
+        assert!(!Decision::Reject.accepted());
+    }
+
+    #[test]
+    fn param_validation() {
+        assert!(validate_params(10, 1, 0.5).is_ok());
+        assert!(validate_params(0, 1, 0.5).is_err());
+        assert!(validate_params(10, 0, 0.5).is_err());
+        assert!(validate_params(10, 11, 0.5).is_err());
+        assert!(validate_params(10, 1, 0.0).is_err());
+        assert!(validate_params(10, 1, 1.5).is_err());
+    }
+}

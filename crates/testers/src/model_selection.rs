@@ -1,0 +1,210 @@
+//! Model selection by doubling search — the motivating application of the
+//! paper's introduction.
+//!
+//! "Given a bound ε on the desired approximation error, one can iteratively
+//! run such an algorithm (e.g., by doubling search) to look for the
+//! smallest corresponding k" — then hand that `k` to an agnostic learner
+//! for an optimally succinct representation. This module implements the
+//! search: run the tester (amplified by majority vote) for
+//! `k = 1, 2, 4, …`; on first accept, optionally binary-search the interval
+//! `(k/2, k]` for the frontier.
+//!
+//! Guarantee shape (inherited from the tester): the returned `k̂` satisfies
+//! `d_TV(D, H_k̂) <= ε` whp (the accepted test certifies closeness at the
+//! tester's soundness radius), while every `k < k̂/2` tried was rejected,
+//! i.e. `D` is not a `k`-histogram for those `k` whp.
+
+use crate::{Decision, Tester};
+use histo_sampling::oracle::SampleOracle;
+use histo_stats::majority_vote;
+use rand::RngCore;
+
+/// Result of the doubling search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSelection {
+    /// The selected number of pieces, or `None` if even `k = max_k` was
+    /// rejected.
+    pub selected_k: Option<usize>,
+    /// Every `(k, accepted)` decision made, in order.
+    pub trials: Vec<(usize, bool)>,
+}
+
+/// Runs doubling (+ optional binary refinement) search for the smallest
+/// `k` accepted by `tester` at distance `epsilon`.
+///
+/// Each candidate `k` is decided by a majority vote over `votes` runs of
+/// the tester (use an odd number; 1 disables amplification).
+///
+/// # Errors
+///
+/// Propagates tester parameter errors.
+pub fn doubling_search(
+    tester: &dyn Tester,
+    oracle: &mut dyn SampleOracle,
+    epsilon: f64,
+    max_k: usize,
+    votes: usize,
+    refine: bool,
+    rng: &mut dyn RngCore,
+) -> histo_core::Result<ModelSelection> {
+    let mut trials = Vec::new();
+    let decide = |k: usize,
+                  oracle: &mut dyn SampleOracle,
+                  rng: &mut dyn RngCore,
+                  trials: &mut Vec<(usize, bool)>|
+     -> histo_core::Result<bool> {
+        let vs: histo_core::Result<Vec<bool>> = (0..votes.max(1))
+            .map(|_| Ok(tester.test(oracle, k, epsilon, rng)? == Decision::Accept))
+            .collect();
+        let accepted = majority_vote(&vs?);
+        trials.push((k, accepted));
+        Ok(accepted)
+    };
+
+    // Doubling phase.
+    let mut k = 1usize;
+    let mut accepted_k: Option<usize> = None;
+    let mut last_rejected = 0usize;
+    loop {
+        let k_eff = k.min(max_k).min(oracle.n());
+        if decide(k_eff, oracle, rng, &mut trials)? {
+            accepted_k = Some(k_eff);
+            break;
+        }
+        last_rejected = k_eff;
+        if k_eff >= max_k || k_eff >= oracle.n() {
+            break;
+        }
+        k *= 2;
+    }
+
+    let Some(hi) = accepted_k else {
+        return Ok(ModelSelection {
+            selected_k: None,
+            trials,
+        });
+    };
+
+    if !refine || hi <= last_rejected + 1 {
+        return Ok(ModelSelection {
+            selected_k: Some(hi),
+            trials,
+        });
+    }
+
+    // Binary refinement on (last_rejected, hi].
+    let mut lo = last_rejected; // rejected
+    let mut hi_k = hi; // accepted
+    while hi_k - lo > 1 {
+        let mid = lo + (hi_k - lo) / 2;
+        if decide(mid, oracle, rng, &mut trials)? {
+            hi_k = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(ModelSelection {
+        selected_k: Some(hi_k),
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram_tester::HistogramTester;
+    use histo_core::Distribution;
+    use histo_sampling::generators::staircase;
+    use histo_sampling::DistOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_small_k_for_uniform() {
+        let d = Distribution::uniform(400).unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(301);
+        let mut o = DistOracle::new(d).with_fast_poissonization();
+        let sel = doubling_search(&tester, &mut o, 0.3, 64, 3, true, &mut rng).unwrap();
+        assert_eq!(sel.selected_k, Some(1), "{:?}", sel.trials);
+    }
+
+    #[test]
+    fn finds_frontier_for_staircase() {
+        // A genuine 4-histogram far from H_1/H_2: the search should land in
+        // a small neighborhood of 4 (the tester's soundness radius allows
+        // accepting slightly early when the distance to fewer pieces is
+        // below epsilon).
+        let d = staircase(800, 4).unwrap().to_distribution().unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(307);
+        let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+        let sel = doubling_search(&tester, &mut o, 0.15, 64, 3, true, &mut rng).unwrap();
+        let k_hat = sel.selected_k.expect("should select some k");
+        assert!(k_hat <= 8, "selected {k_hat}: {:?}", sel.trials);
+        // The accepted model must genuinely be epsilon-close.
+        let bounds = histo_core::dp::distance_to_hk_bounds(&d, k_hat).unwrap();
+        assert!(bounds.lower <= 0.15 + 1e-9);
+    }
+
+    #[test]
+    fn respects_max_k() {
+        // A tester that always rejects: search exhausts and returns None.
+        struct AlwaysReject;
+        impl Tester for AlwaysReject {
+            fn name(&self) -> &'static str {
+                "always-reject"
+            }
+            fn test(
+                &self,
+                _: &mut dyn SampleOracle,
+                _: usize,
+                _: f64,
+                _: &mut dyn RngCore,
+            ) -> histo_core::Result<Decision> {
+                Ok(Decision::Reject)
+            }
+        }
+        let d = Distribution::uniform(100).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(311);
+        let sel = doubling_search(&AlwaysReject, &mut o, 0.3, 16, 1, true, &mut rng).unwrap();
+        assert_eq!(sel.selected_k, None);
+        let ks: Vec<usize> = sel.trials.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn refinement_narrows_to_exact_frontier() {
+        // A deterministic oracle-tester that accepts iff k >= 5: doubling
+        // accepts at 8, refinement must land on exactly 5.
+        struct ThresholdTester(usize);
+        impl Tester for ThresholdTester {
+            fn name(&self) -> &'static str {
+                "threshold"
+            }
+            fn test(
+                &self,
+                _: &mut dyn SampleOracle,
+                k: usize,
+                _: f64,
+                _: &mut dyn RngCore,
+            ) -> histo_core::Result<Decision> {
+                Ok(if k >= self.0 {
+                    Decision::Accept
+                } else {
+                    Decision::Reject
+                })
+            }
+        }
+        let d = Distribution::uniform(100).unwrap();
+        let mut o = DistOracle::new(d);
+        let mut rng = StdRng::seed_from_u64(313);
+        let sel = doubling_search(&ThresholdTester(5), &mut o, 0.3, 64, 1, true, &mut rng).unwrap();
+        assert_eq!(sel.selected_k, Some(5));
+        // Without refinement we stop at the doubling grid point.
+        let sel =
+            doubling_search(&ThresholdTester(5), &mut o, 0.3, 64, 1, false, &mut rng).unwrap();
+        assert_eq!(sel.selected_k, Some(8));
+    }
+}

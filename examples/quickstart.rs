@@ -1,0 +1,51 @@
+//! Quickstart: test whether sampled data is a k-histogram.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use few_bins::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), HistoError> {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let n = 2_000;
+    let k = 5;
+    let epsilon = 0.25;
+
+    // --- A genuine 5-histogram -----------------------------------------
+    let member = random_k_histogram(n, k, &mut rng)?.to_distribution()?;
+    let tester = HistogramTester::practical();
+
+    let mut oracle = DistOracle::new(member.clone()).with_fast_poissonization();
+    let decision = tester.test(&mut oracle, k, epsilon, &mut rng)?;
+    println!(
+        "5-histogram over [{n}]   -> {decision:?} after {} samples",
+        oracle.samples_drawn()
+    );
+
+    // --- A certified eps-far perturbation of it ------------------------
+    let base = KHistogram::from_distribution(&member)?;
+    let amplitude = histo_sampling::generators::amplitude_for_certified_distance(&base, k, epsilon)
+        .expect("enough pairs to certify the distance")
+        .min(0.95);
+    let far = sawtooth_perturbation(&base, k, amplitude, &mut rng)?;
+    println!(
+        "perturbed instance: certified d_TV(D, H_{k}) in [{:.3}, {:.3}]",
+        far.tv_to_hk_lower, far.tv_to_hk_upper
+    );
+
+    let mut oracle = DistOracle::new(far.dist).with_fast_poissonization();
+    let decision = tester.test(&mut oracle, k, epsilon, &mut rng)?;
+    println!(
+        "far instance             -> {decision:?} after {} samples",
+        oracle.samples_drawn()
+    );
+
+    // --- Offline certification for comparison --------------------------
+    let bounds = distance_to_hk_bounds(&member, k)?;
+    println!(
+        "offline DP check of the member: d_TV(D, H_{k}) in [{:.4}, {:.4}]",
+        bounds.lower, bounds.upper
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! A guided tour through Algorithm 1's five stages on one instance, with
+//! every intermediate object printed: ApproxPart -> Learner -> Sieve ->
+//! Check -> chi-square test.
+//!
+//! Run with `cargo run --release --example subroutine_tour`.
+
+use few_bins::prelude::*;
+use few_bins::testers::adk::ChiSquareTest;
+use few_bins::testers::approx_part::approx_part;
+use few_bins::testers::learner::{breakpoint_intervals, learn, learning_error};
+use few_bins::testers::sieve::sieve;
+use histo_core::dp::check_close_to_hk;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), HistoError> {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let n = 1_200;
+    let k = 3;
+    let epsilon = 0.25;
+    let config = TesterConfig::practical();
+
+    let d = staircase(n, k)?.to_distribution()?;
+    println!("instance: {k}-histogram staircase over [{n}], testing H_{k} at eps = {epsilon}\n");
+    let mut oracle = DistOracle::new(d.clone()).with_fast_poissonization();
+
+    // Stage 1: ApproxPart (Proposition 3.4).
+    let b = config.b(k, epsilon);
+    let ap = approx_part(&mut oracle, b, config.approx_part_samples(b), &mut rng)?;
+    println!(
+        "1. ApproxPart(b = {b:.0}): K = {} intervals, {} singletons, {} samples",
+        ap.partition.len(),
+        ap.singleton_indices.len(),
+        ap.samples_used
+    );
+
+    // Stage 2: Learner (Lemma 3.5).
+    let eps_learn = epsilon / config.learner_eps_divisor;
+    let m_learn = config.learner_samples(ap.partition.len(), eps_learn);
+    let d_hat = learn(&mut oracle, &ap.partition, m_learn, &mut rng)?;
+    let bp = breakpoint_intervals(&d, &ap.partition);
+    println!(
+        "2. Learner({} samples): chi2(D̃^J || D̂) = {:.2e} (target {:.2e}); \
+         breakpoint intervals: {bp:?}",
+        m_learn,
+        learning_error(&d, &d_hat)?,
+        eps_learn * eps_learn
+    );
+
+    // Stage 3: Sieve (Section 3.2.1).
+    let before = oracle.samples_drawn();
+    let sv = sieve(&mut oracle, &d_hat, k, epsilon, &config, &mut rng)?;
+    println!(
+        "3. Sieve: discarded {:?} in {} rounds (early accept: {}), {} samples",
+        sv.discarded,
+        sv.rounds_used,
+        sv.early_accept,
+        oracle.samples_drawn() - before
+    );
+    assert!(!sv.rejected, "sieve should not reject a member");
+    let surviving = sv.surviving(ap.partition.len());
+
+    // Stage 4: Check (CDGR16 Lemma 4.11 DP).
+    let mut counted = vec![false; ap.partition.len()];
+    for &j in &surviving {
+        counted[j] = true;
+    }
+    let ok = check_close_to_hk(&d_hat, &counted, k, epsilon / config.check_divisor)?;
+    println!(
+        "4. Check: exists D* in H_{k} with d^G_TV(D̂, D*) <= eps/{:.0}?  {ok}",
+        config.check_divisor
+    );
+
+    // Stage 5: the ADK chi-square test on the surviving domain.
+    let eps_prime = config.final_eps_factor * epsilon;
+    let chi2 = ChiSquareTest::restricted(d_hat, surviving, eps_prime, &config)?;
+    let before = oracle.samples_drawn();
+    let decision = chi2.run(&mut oracle, &mut rng);
+    println!(
+        "5. chi-square test at eps' = {eps_prime:.3}: {decision:?} \
+         (Poissonized budget m = {:.0}, drew {} samples)",
+        chi2.m(),
+        oracle.samples_drawn() - before
+    );
+    println!("\ntotal samples: {} (vs n = {n})", oracle.samples_drawn());
+    Ok(())
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Validates every results/*.json artifact parses and has the report shape."""
+import json, glob, sys
+
+ok = True
+for f in sorted(glob.glob("results/*.json")):
+    try:
+        r = json.load(open(f))
+        for key in ("id", "title", "validates", "seed", "tables", "notes"):
+            assert key in r, f"missing {key}"
+        for t in r["tables"]:
+            w = len(t["headers"])
+            assert all(len(row) == w for row in t["rows"]), "ragged table"
+        print(f"ok {f}: {r['id']} — {len(r['tables'])} table(s), {sum(len(t['rows']) for t in r['tables'])} rows")
+    except Exception as e:
+        ok = False
+        print(f"BAD {f}: {e}")
+sys.exit(0 if ok else 1)

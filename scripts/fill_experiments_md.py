@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Splices the generated experiment tables into EXPERIMENTS.md between the
+BEGIN/END GENERATED TABLES markers, wrapping the raw harness output in a
+fenced code block per experiment."""
+import re, sys
+
+out_file = sys.argv[1] if len(sys.argv) > 1 else "experiments_output.txt"
+md_file = "EXPERIMENTS.md"
+
+raw = open(out_file).read()
+sections = re.split(r"^=== (exp_\w+) ===$", raw, flags=re.M)
+# sections = [prefix, name1, body1, name2, body2, ...]
+blocks = []
+for i in range(1, len(sections), 2):
+    name, body = sections[i], sections[i + 1].strip()
+    blocks.append(f"### `{name}`\n\n```text\n{body}\n```\n")
+
+md = open(md_file).read()
+begin, end = "<!-- BEGIN GENERATED TABLES -->", "<!-- END GENERATED TABLES -->"
+pre = md.split(begin)[0]
+post = md.split(end)[1]
+open(md_file, "w").write(pre + begin + "\n\n" + "\n".join(blocks) + "\n" + end + post)
+print(f"spliced {len(blocks)} experiment sections into {md_file}")

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure in EXPERIMENTS.md.
+# Usage: FEWBINS_TRIALS=40 scripts/run_experiments.sh [outfile]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-experiments_output.txt}"
+: > "$out"
+bins=(
+  exp_operating_characteristic exp_scaling_n exp_scaling_k exp_baselines
+  exp_lb_paninski exp_lb_cover exp_lb_reduction exp_learner exp_approx_part
+  exp_z_statistic exp_sieve exp_dp_check exp_model_selection exp_kmodal
+  exp_ablation exp_fixed_partition exp_paper_constants
+)
+for b in "${bins[@]}"; do
+  echo "=== $b ===" | tee -a "$out"
+  cargo run --release -q -p histo-bench --bin "$b" 2>&1 | tee -a "$out"
+done
+echo "All experiments done. Tables in $out, JSON artifacts in results/."

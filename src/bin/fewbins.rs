@@ -1,0 +1,411 @@
+//! `fewbins` — command-line interface to the histogram tester.
+//!
+//! Subcommands:
+//!
+//! - `test`      — test sampled data for membership in `H_k`.
+//! - `select-k`  — doubling search for the smallest adequate `k`.
+//! - `certify`   — offline DP bounds on `d_TV(D, H_k)` for an explicit pmf.
+//! - `sketch`    — agnostically learn a k-histogram sketch from samples.
+//!
+//! Input formats: `test`/`select-k`/`sketch` read whitespace-separated
+//! 0-based sample indices from a file (or stdin with `-`); `certify` reads
+//! whitespace-separated non-negative weights (one per domain element).
+//!
+//! Examples:
+//!
+//! ```sh
+//! fewbins test    --n 1000 --k 4 --eps 0.25 --scale 0.2 samples.txt
+//! fewbins select-k --n 1000 --eps 0.2 samples.txt
+//! fewbins certify --k 3 pmf.txt
+//! fewbins sketch  --n 1000 --k 4 --eps 0.1 samples.txt
+//! ```
+
+use few_bins::prelude::*;
+use few_bins::testers::agnostic::AgnosticLearner;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::io::Read;
+use std::process::ExitCode;
+
+/// Replay oracle over a recorded dataset.
+///
+/// Two modes, chosen explicitly by the user:
+///
+/// - **bootstrap** (default): draws with replacement — this tests the
+///   dataset's *empirical* distribution, which is only meaningful when the
+///   dataset is large relative to the tester's budget (a warning is
+///   printed otherwise: a small dataset's empirical distribution is a
+///   noisy non-histogram even when the source is one);
+/// - **no-resample** (`--no-resample`): consumes each recorded sample
+///   exactly once in random order (true i.i.d. semantics) and aborts with
+///   a clear error when the dataset is exhausted.
+struct ReplayOracle {
+    samples: Vec<usize>,
+    n: usize,
+    drawn: u64,
+    pos: usize,
+    resample: bool,
+}
+
+impl ReplayOracle {
+    fn new(mut samples: Vec<usize>, n: usize, resample: bool, rng: &mut StdRng) -> Self {
+        use rand::seq::SliceRandom;
+        samples.shuffle(rng);
+        Self {
+            samples,
+            n,
+            drawn: 0,
+            pos: 0,
+            resample,
+        }
+    }
+}
+
+impl few_bins::sampling::oracle::SampleOracle for ReplayOracle {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        self.drawn += 1;
+        if self.resample {
+            use rand::Rng;
+            let i = (*rng).gen_range(0..self.samples.len());
+            self.samples[i]
+        } else {
+            assert!(
+                self.pos < self.samples.len(),
+                "dataset exhausted after {} draws; provide more samples, lower --scale, \
+                 or allow bootstrap resampling (drop --no-resample)",
+                self.drawn - 1
+            );
+            let s = self.samples[self.pos];
+            self.pos += 1;
+            s
+        }
+    }
+    fn samples_drawn(&self) -> u64 {
+        self.drawn
+    }
+}
+
+/// Rough estimate of the tester's total draw count for one run, from the
+/// config's budget formulas (ApproxPart + Learner + sieve rounds + final
+/// χ² batch).
+fn estimate_budget(config: &TesterConfig, n: usize, k: usize, eps: f64) -> u64 {
+    let b = config.b(k, eps).max(1.0);
+    let ap = config.approx_part_samples(b);
+    let big_k = (1.5 * b) as usize + 2;
+    let learner = config.learner_samples(big_k, eps / config.learner_eps_divisor);
+    let alpha = eps / config.sieve.alpha_divisor;
+    let m_sieve = config.sieve.sample_factor * (n as f64).sqrt() / (alpha * alpha);
+    let rounds = (k as f64).log2().ceil().max(1.0) + 1.0 + config.sieve.extra_rounds as f64;
+    let m_test = config.test_samples(n, config.final_eps_factor * eps);
+    ap + learner + (rounds * m_sieve) as u64 + m_test as u64
+}
+
+#[derive(Debug, Default)]
+struct Args {
+    n: Option<usize>,
+    k: Option<usize>,
+    eps: Option<f64>,
+    seed: u64,
+    max_k: usize,
+    scale: f64,
+    no_resample: bool,
+    file: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
+    let mut it = argv.iter();
+    let cmd = it
+        .next()
+        .ok_or_else(|| "missing subcommand (test | select-k | certify | sketch)".to_string())?
+        .clone();
+    let mut args = Args {
+        seed: 160,
+        max_k: 256,
+        scale: 1.0,
+        ..Default::default()
+    };
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match a.as_str() {
+            "--n" => args.n = Some(take("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--k" => args.k = Some(take("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--eps" => args.eps = Some(take("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?),
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-k" => {
+                args.max_k = take("--max-k")?
+                    .parse()
+                    .map_err(|e| format!("--max-k: {e}"))?
+            }
+            "--scale" => {
+                args.scale = take("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if args.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--no-resample" => args.no_resample = true,
+            other if !other.starts_with("--") => args.file = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn read_numbers(path: &Option<String>) -> Result<Vec<String>, String> {
+    let mut text = String::new();
+    match path.as_deref() {
+        None | Some("-") => {
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+        }
+        Some(p) => {
+            text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        }
+    }
+    Ok(text.split_whitespace().map(|s| s.to_string()).collect())
+}
+
+fn read_samples(args: &Args) -> Result<(Vec<usize>, usize), String> {
+    let toks = read_numbers(&args.file)?;
+    let samples: Vec<usize> = toks
+        .iter()
+        .map(|t| t.parse::<usize>().map_err(|e| format!("sample `{t}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    if samples.is_empty() {
+        return Err("no samples provided".into());
+    }
+    let n = match args.n {
+        Some(n) => n,
+        None => samples.iter().max().copied().unwrap_or(0) + 1,
+    };
+    if samples.iter().any(|&s| s >= n) {
+        return Err(format!("a sample exceeds the domain 0..{n}"));
+    }
+    Ok((samples, n))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        eprintln!(
+            "usage: fewbins <test|select-k|certify|sketch> [--n N] [--k K] [--eps E] \
+             [--seed S] [--max-k M] [file|-]"
+        );
+        return Ok(());
+    }
+    let (cmd, args) = parse_args(&argv)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    match cmd.as_str() {
+        "test" => {
+            let (samples, n) = read_samples(&args)?;
+            let k = args.k.ok_or("test requires --k")?;
+            let eps = args.eps.unwrap_or(0.25);
+            let config = TesterConfig::practical().scaled(args.scale);
+            let needed = estimate_budget(&config, n, k, eps);
+            if (samples.len() as u64) < needed {
+                eprintln!(
+                    "fewbins: warning: dataset has {} samples but the tester needs ~{needed}; \
+                     {}",
+                    samples.len(),
+                    if args.no_resample {
+                        "this run will abort when the data runs out — lower --scale or add data"
+                    } else {
+                        "bootstrap resampling will test the (noisy) empirical distribution \
+                         instead — prefer more data or a lower --scale"
+                    }
+                );
+            }
+            let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
+            let tester = HistogramTester::new(config);
+            let decision = tester
+                .test(&mut oracle, k, eps, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} (H_{k} at eps = {eps}; {} draws over [0..{n}))",
+                if decision.accepted() {
+                    "ACCEPT"
+                } else {
+                    "REJECT"
+                },
+                oracle.samples_drawn()
+            );
+        }
+        "select-k" => {
+            let (samples, n) = read_samples(&args)?;
+            let eps = args.eps.unwrap_or(0.25);
+            let config = TesterConfig::practical().scaled(args.scale);
+            let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
+            let tester = HistogramTester::new(config);
+            let sel = doubling_search(&tester, &mut oracle, eps, args.max_k, 3, true, &mut rng)
+                .map_err(|e| e.to_string())?;
+            match sel.selected_k {
+                Some(k) => println!("selected k = {k} (decisions: {:?})", sel.trials),
+                None => println!("no k <= {} accepted at eps = {eps}", args.max_k),
+            }
+        }
+        "certify" => {
+            let k = args.k.ok_or("certify requires --k")?;
+            let toks = read_numbers(&args.file)?;
+            let weights: Vec<f64> = toks
+                .iter()
+                .map(|t| t.parse::<f64>().map_err(|e| format!("weight `{t}`: {e}")))
+                .collect::<Result<_, _>>()?;
+            let d = Distribution::from_weights(weights).map_err(|e| e.to_string())?;
+            let b = distance_to_hk_bounds(&d, k).map_err(|e| e.to_string())?;
+            println!(
+                "d_TV(D, H_{k}) in [{:.6}, {:.6}]; witness has {} pieces",
+                b.lower,
+                b.upper,
+                b.witness.minimal_pieces()
+            );
+            if b.upper < 1e-9 {
+                println!("D IS a {k}-histogram (distance 0)");
+            }
+        }
+        "sketch" => {
+            let (samples, n) = read_samples(&args)?;
+            let k = args.k.ok_or("sketch requires --k")?;
+            let eps = args.eps.unwrap_or(0.1);
+            let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
+            let sketch = AgnosticLearner::default()
+                .learn(&mut oracle, k, eps, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!("# k-histogram sketch: start_index level");
+            for (j, iv) in sketch.partition().intervals().iter().enumerate() {
+                println!("{} {:.9}", iv.lo(), sketch.levels()[j]);
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown subcommand `{other}` (expected test | select-k | certify | sketch)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // Oracle exhaustion (--no-resample) surfaces as a panic deep inside the
+    // tester; present it as a normal CLI error instead of a backtrace.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("internal error");
+        eprintln!("fewbins: {msg}");
+    }));
+    match std::panic::catch_unwind(run) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("fewbins: {e}");
+            ExitCode::FAILURE
+        }
+        Err(_) => ExitCode::FAILURE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let (cmd, args) = parse_args(&strs(&[
+            "test",
+            "--n",
+            "100",
+            "--k",
+            "3",
+            "--eps",
+            "0.2",
+            "--seed",
+            "7",
+            "--scale",
+            "0.5",
+            "--no-resample",
+            "data.txt",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "test");
+        assert_eq!(args.n, Some(100));
+        assert_eq!(args.k, Some(3));
+        assert_eq!(args.eps, Some(0.2));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.scale, 0.5);
+        assert!(args.no_resample);
+        assert_eq!(args.file.as_deref(), Some("data.txt"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let (_, args) = parse_args(&strs(&["certify", "pmf.txt"])).unwrap();
+        assert_eq!(args.seed, 160);
+        assert_eq!(args.max_k, 256);
+        assert_eq!(args.scale, 1.0);
+        assert!(!args.no_resample);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&strs(&["test", "--bogus"])).is_err());
+        assert!(parse_args(&strs(&["test", "--n"])).is_err());
+        assert!(parse_args(&strs(&["test", "--scale", "-1", "f"])).is_err());
+        assert!(parse_args(&strs(&[])).is_err());
+    }
+
+    #[test]
+    fn replay_oracle_no_resample_exhausts() {
+        use few_bins::sampling::oracle::SampleOracle;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut o = ReplayOracle::new(vec![0, 1, 2], 3, false, &mut rng);
+        for _ in 0..3 {
+            o.draw(&mut rng);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            o.draw(&mut rng);
+        }));
+        assert!(result.is_err(), "4th draw must abort");
+    }
+
+    #[test]
+    fn replay_oracle_bootstrap_never_exhausts() {
+        use few_bins::sampling::oracle::SampleOracle;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut o = ReplayOracle::new(vec![2], 3, true, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(o.draw(&mut rng), 2);
+        }
+        assert_eq!(o.samples_drawn(), 10);
+    }
+
+    #[test]
+    fn budget_estimate_is_sane() {
+        let c = TesterConfig::practical();
+        let small = estimate_budget(&c, 500, 2, 0.3);
+        let large_n = estimate_budget(&c, 8_000, 2, 0.3);
+        let large_k = estimate_budget(&c, 500, 8, 0.3);
+        assert!(small > 10_000);
+        assert!(large_n > small);
+        assert!(large_k > small);
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration test of the Section 2 continuous-domain extension: the full
+//! tester running on gridded continuous data.
+
+use few_bins::prelude::*;
+use few_bins::sampling::continuous::{
+    gridded_pmf, GaussianMixture, GriddedOracle, PiecewiseDensity,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tester_accepts_aligned_piecewise_density() {
+    // 3-piece density aligned to a 64-cell grid: the gridded distribution
+    // is a genuine 3-histogram.
+    let density = PiecewiseDensity::new(vec![0.25, 0.75, 1.0], vec![0.5, 0.2, 0.3]).unwrap();
+    let truth = gridded_pmf(&density, 64).unwrap();
+    assert!(truth.is_k_histogram(3));
+
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut accepts = 0;
+    let trials = 10;
+    for _ in 0..trials {
+        let mut oracle = GriddedOracle::new(&density, 64).unwrap();
+        if tester
+            .test(&mut oracle, 3, 0.35, &mut rng)
+            .unwrap()
+            .accepted()
+        {
+            accepts += 1;
+        }
+    }
+    assert!(accepts >= trials - 2, "accepted {accepts}/{trials}");
+}
+
+#[test]
+fn tester_rejects_smooth_bimodal_density() {
+    // A bimodal Gaussian mixture is far from any small histogram on a fine
+    // grid.
+    let density = GaussianMixture {
+        components: vec![(0.3, 0.08, 1.0), (0.7, 0.08, 1.0)],
+    };
+    // Certify the distance of the exact gridded pmf offline first, via a
+    // large-sample empirical estimate.
+    let mut rng = StdRng::seed_from_u64(73);
+    let mut oracle = GriddedOracle::new(&density, 64).unwrap();
+    let counts = {
+        use few_bins::sampling::SampleOracle;
+        oracle.draw_counts(400_000, &mut rng)
+    };
+    let empirical = counts.empirical().unwrap();
+    let bounds = distance_to_hk_bounds(&empirical, 2).unwrap();
+    assert!(
+        bounds.lower > 0.15,
+        "sanity: lower bound {:.3}",
+        bounds.lower
+    );
+
+    let tester = HistogramTester::practical();
+    let mut rejects = 0;
+    let trials = 10;
+    for _ in 0..trials {
+        let mut oracle = GriddedOracle::new(&density, 64).unwrap();
+        if !tester
+            .test(&mut oracle, 2, 0.15, &mut rng)
+            .unwrap()
+            .accepted()
+        {
+            rejects += 1;
+        }
+    }
+    assert!(rejects >= trials - 2, "rejected {rejects}/{trials}");
+}
+
+#[test]
+fn grid_resolution_tradeoff_is_visible() {
+    // A breakpoint at 0.3 misaligned with a coarse grid: finer grids pin
+    // the distance of the gridded pmf to H_2 toward zero.
+    let density = PiecewiseDensity::new(vec![0.3, 1.0], vec![0.8, 0.2]).unwrap();
+    let coarse = gridded_pmf(&density, 8).unwrap();
+    let fine = gridded_pmf(&density, 256).unwrap();
+    let d_coarse = distance_to_hk_bounds(&coarse, 2).unwrap().upper;
+    let d_fine = distance_to_hk_bounds(&fine, 2).unwrap().upper;
+    assert!(d_fine <= d_coarse + 1e-12);
+    assert!(d_fine < 0.01, "fine grid distance {d_fine}");
+}

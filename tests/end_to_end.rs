@@ -1,0 +1,138 @@
+//! End-to-end integration tests: the full Algorithm 1 pipeline against
+//! generated workloads, exercised through the public facade API only.
+
+use few_bins::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn acceptance_rate(d: &Distribution, k: usize, eps: f64, trials: usize, seed: u64) -> f64 {
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepts = 0;
+    for _ in 0..trials {
+        let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+        if tester.test(&mut o, k, eps, &mut rng).unwrap().accepted() {
+            accepts += 1;
+        }
+    }
+    accepts as f64 / trials as f64
+}
+
+#[test]
+fn completeness_across_shapes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    // Uniform = 1-histogram.
+    let u = Distribution::uniform(800).unwrap();
+    assert!(acceptance_rate(&u, 1, 0.3, 15, 2) >= 0.8);
+    // Staircases.
+    for k in [2usize, 4] {
+        let d = staircase(900, k).unwrap().to_distribution().unwrap();
+        assert!(
+            acceptance_rate(&d, k, 0.3, 15, 3 + k as u64) >= 0.75,
+            "k = {k}"
+        );
+    }
+    // A random histogram, tested with slack pieces.
+    let d = random_k_histogram(700, 3, &mut rng)
+        .unwrap()
+        .to_distribution()
+        .unwrap();
+    assert!(acceptance_rate(&d, 5, 0.3, 15, 9) >= 0.75);
+}
+
+#[test]
+fn soundness_on_certified_instances() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = staircase(900, 4).unwrap();
+    let eps = 0.25;
+    let amp = histo_sampling::generators::amplitude_for_certified_distance(&base, 4, eps)
+        .unwrap()
+        .min(0.9);
+    let inst = sawtooth_perturbation(&base, 4, amp, &mut rng).unwrap();
+    assert!(inst.tv_to_hk_lower >= eps - 1e-9, "instance not certified");
+    assert!(acceptance_rate(&inst.dist, 4, eps, 15, 13) <= 0.25);
+}
+
+#[test]
+fn soundness_on_smooth_decay() {
+    // Geometric decay is far from any 2-histogram at moderate distance.
+    let d = geometric(600, 0.995).unwrap();
+    let bounds = distance_to_hk_bounds(&d, 2).unwrap();
+    assert!(
+        bounds.lower > 0.1,
+        "sanity: lower bound {:.3}",
+        bounds.lower
+    );
+    let eps = bounds.lower.min(0.3) * 0.9;
+    assert!(acceptance_rate(&d, 2, eps, 15, 17) <= 0.3);
+}
+
+#[test]
+fn measured_samples_are_sublinear_for_large_n() {
+    // At fixed k and eps, the tester's measured draw count must grow far
+    // slower than the offline Theta(n/eps^2) baseline as n scales 16x.
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut measured = vec![];
+    for &n in &[2_000usize, 32_000] {
+        let d = staircase(n, 2).unwrap().to_distribution().unwrap();
+        let mut o = DistOracle::new(d).with_fast_poissonization();
+        let tr = tester.test_traced(&mut o, 2, 0.3, &mut rng).unwrap();
+        assert!(tr.decision.accepted());
+        measured.push(tr.samples_used as f64);
+    }
+    let growth = measured[1] / measured[0];
+    // sqrt(16) = 4 on the n-dependent part; the k-dependent part is flat,
+    // so total growth must be well under the linear factor 16.
+    assert!(growth < 8.0, "sample growth {growth:.1}x for 16x domain");
+}
+
+#[test]
+fn trace_stages_are_consistent() {
+    let d = staircase(500, 3).unwrap().to_distribution().unwrap();
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut o = DistOracle::new(d).with_fast_poissonization();
+    let tr = tester.test_traced(&mut o, 3, 0.3, &mut rng).unwrap();
+    let sieve = tr.sieve.expect("sieve ran");
+    assert!(!sieve.rejected);
+    let hyp = tr.hypothesis.expect("hypothesis learned");
+    assert_eq!(hyp.num_pieces(), tr.partition_size);
+    // Surviving + discarded = all intervals.
+    assert_eq!(
+        sieve.surviving(tr.partition_size).len() + sieve.discarded.len(),
+        tr.partition_size
+    );
+}
+
+#[test]
+fn model_selection_end_to_end() {
+    // A 4-histogram with well-separated levels: the doubling search should
+    // select a small k that is genuinely epsilon-adequate, and reject k=1.
+    let d = staircase(1_000, 4).unwrap().to_distribution().unwrap();
+    let tester = HistogramTester::practical();
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut o = DistOracle::new(d.clone()).with_fast_poissonization();
+    let sel = doubling_search(&tester, &mut o, 0.12, 64, 3, true, &mut rng).unwrap();
+    let k_hat = sel.selected_k.expect("selection succeeds");
+    assert!(k_hat <= 8, "selected {k_hat}");
+    let bounds = distance_to_hk_bounds(&d, k_hat).unwrap();
+    assert!(bounds.lower <= 0.12 + 1e-9);
+    // k = 1 must have been rejected on the way.
+    assert!(sel.trials.iter().any(|&(k, acc)| k == 1 && !acc));
+}
+
+#[test]
+fn paper_config_is_usable_at_small_scale() {
+    // The paper's constants demand enormous budgets; verify the structure
+    // still runs end-to-end on a tiny instance (completeness only, one
+    // trial — this is a smoke test for the constant plumbing).
+    let d = Distribution::uniform(50).unwrap();
+    let tester = HistogramTester::paper();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut o = DistOracle::new(d).with_fast_poissonization();
+    let decision = tester.test(&mut o, 1, 0.5, &mut rng).unwrap();
+    assert!(decision.accepted());
+    // The paper budget is enormous even here.
+    assert!(o.samples_drawn() > 100_000);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use few_bins::prelude::*;
+use histo_core::dp::{best_kpiece_fit, blocks_from_distribution, constrained_distance_to_hk};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random distribution over [n] with n in [2, 40].
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec(1u32..1000, 2..40)
+        .prop_map(|w| Distribution::from_weights(w.into_iter().map(f64::from).collect()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_bounds_always_bracket((d, k) in (arb_distribution(), 1usize..8)) {
+        let b = distance_to_hk_bounds(&d, k).unwrap();
+        prop_assert!(b.lower >= 0.0);
+        prop_assert!(b.lower <= b.upper + 1e-12);
+        prop_assert!(b.upper <= 2.0 * b.lower + 1e-9, "factor-2 relation");
+        prop_assert!(b.upper <= 1.0 + 1e-9);
+        prop_assert!(b.witness.minimal_pieces() <= k);
+        // Membership => zero distance, both directions up to fp.
+        if d.is_k_histogram(k) {
+            prop_assert!(b.upper < 1e-9);
+        }
+        if b.lower > 1e-9 {
+            prop_assert!(!d.is_k_histogram(k));
+        }
+    }
+
+    #[test]
+    fn dp_lower_bound_monotone_in_k(d in arb_distribution()) {
+        let mut prev = f64::INFINITY;
+        for k in 1..=d.n().min(10) {
+            let b = distance_to_hk_bounds(&d, k).unwrap();
+            prop_assert!(b.lower <= prev + 1e-12);
+            prev = b.lower;
+        }
+        // Full pieces => exact representation.
+        let b = distance_to_hk_bounds(&d, d.n()).unwrap();
+        prop_assert!(b.upper < 1e-9);
+    }
+
+    #[test]
+    fn constrained_dp_consistent_with_relaxation((d, k) in (arb_distribution(), 1usize..5)) {
+        let blocks = blocks_from_distribution(&d);
+        let relaxed = best_kpiece_fit(&blocks, k).unwrap().l1_cost / 2.0;
+        let constrained = constrained_distance_to_hk(&blocks, k, 120).unwrap();
+        // The constrained optimum cannot beat the relaxation (up to grid
+        // slack), and must stay within the certified upper bound.
+        let slack = k as f64 / 120.0 + 1e-9;
+        prop_assert!(constrained + slack >= relaxed);
+        let upper = distance_to_hk_bounds(&d, k).unwrap().upper;
+        prop_assert!(constrained <= upper + slack);
+    }
+
+    #[test]
+    fn flattening_contracts_distance_to_histograms(
+        (w, k) in (prop::collection::vec(1u32..100, 4..30), 1usize..5)
+    ) {
+        // Flattening over any partition aligned with the witness's pieces
+        // cannot increase the distance... we check the weaker, always-true
+        // statement: flatten(d) over the witness partition is at least as
+        // close to H_k as d is far (sanity of the witness construction).
+        let d = Distribution::from_weights(w.into_iter().map(f64::from).collect()).unwrap();
+        let b = distance_to_hk_bounds(&d, k).unwrap();
+        let flat = d.flatten(b.witness.partition()).unwrap();
+        let fb = distance_to_hk_bounds(&flat, k).unwrap();
+        prop_assert!(fb.lower <= b.upper + 1e-9);
+    }
+
+    #[test]
+    fn sawtooth_instances_are_certified_correctly(
+        (n4, k, amp_pct) in (3usize..20, 2usize..5, 10u32..90)
+    ) {
+        let n = n4 * 4 * 3;
+        let base = staircase(n, k).unwrap();
+        let amplitude = amp_pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64((n4 * 31 + k) as u64);
+        let inst = sawtooth_perturbation(&base, k, amplitude, &mut rng).unwrap();
+        // Certified lower bound must be dominated by the DP lower bound
+        // (both are true lower bounds; the pairing bound is weaker).
+        let dp = distance_to_hk_bounds(&inst.dist, k).unwrap();
+        prop_assert!(inst.tv_to_hk_lower <= dp.lower + 1e-9,
+            "certified {} > dp {}", inst.tv_to_hk_lower, dp.lower);
+        prop_assert!(inst.tv_to_hk_upper >= inst.tv_to_hk_lower - 1e-12);
+        // Masses preserved per base interval.
+        for (j, iv) in base.partition().intervals().iter().enumerate() {
+            let diff = (inst.dist.interval_mass(iv) - base.interval_mass(j)).abs();
+            prop_assert!(diff < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permuted_distribution_piece_count_vs_cover(
+        (support, seed) in (1usize..12, 0u64..500)
+    ) {
+        // For a zero-padded uniform-support instance: pieces = 2*cover + 1
+        // minus boundary corrections; always <= 2*cover + 1.
+        let m = 24;
+        let n = 400;
+        let mut pmf = vec![0.0; m];
+        for p in pmf.iter_mut().take(support) {
+            *p = 1.0 / support as f64;
+        }
+        let d = Distribution::new(pmf).unwrap();
+        let padded = histo_sampling::generators::zero_pad(&d, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = histo_sampling::permutation::random_permutation(n, &mut rng);
+        let permuted = padded.permute(&sigma).unwrap();
+        let cover = few_bins::lowerbounds::reduction::cover_after_permutation(&padded, &sigma).unwrap();
+        prop_assert!(permuted.num_pieces() <= 2 * cover + 1);
+        prop_assert!(permuted.num_pieces() >= 2 * cover - 1);
+        prop_assert_eq!(permuted.support_size(), support);
+    }
+
+    #[test]
+    fn alias_sampler_supports_exactly_the_pmf(w in prop::collection::vec(0u32..50, 2..20)) {
+        prop_assume!(w.iter().any(|&x| x > 0));
+        let d = Distribution::from_weights(w.iter().map(|&x| f64::from(x)).collect()).unwrap();
+        let sampler = histo_sampling::AliasSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng);
+            prop_assert!(d.mass(s) > 0.0, "sampled zero-mass element {s}");
+        }
+    }
+
+    #[test]
+    fn khistogram_round_trip(w in prop::collection::vec(1u32..50, 2..30)) {
+        let d = Distribution::from_weights(w.into_iter().map(f64::from).collect()).unwrap();
+        let h = KHistogram::from_distribution(&d).unwrap();
+        let back = h.to_distribution().unwrap();
+        prop_assert_eq!(&back, &d);
+        prop_assert_eq!(h.minimal_pieces(), d.num_pieces());
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration test of the Section 4.2 reduction with the *actual* paper
+//! tester in the loop: the lifted tester must solve SuppSize_m.
+
+use few_bins::lowerbounds::{LiftedTester, SuppSizeInstance};
+use few_bins::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lifted_histogram_tester_solves_support_size() {
+    // Small-but-real scale: m = 12 => k = 9, n = 70m = 840.
+    let m = 12;
+    let n = 70 * m;
+    let tester = HistogramTester::practical();
+    let lifted = LiftedTester::new(&tester, m, n, 3).unwrap();
+    assert_eq!(lifted.k, 2 * (m / 3) + 1);
+
+    let mut rng = StdRng::seed_from_u64(101);
+    let low = SuppSizeInstance::low(m).unwrap();
+    let high = SuppSizeInstance::high(m).unwrap();
+
+    let trials = 6;
+    let mut low_correct = 0;
+    let mut high_correct = 0;
+    for _ in 0..trials {
+        if lifted.decide(&low, &mut rng).unwrap() {
+            low_correct += 1;
+        }
+        if !lifted.decide(&high, &mut rng).unwrap() {
+            high_correct += 1;
+        }
+    }
+    assert!(
+        low_correct >= trials - 1,
+        "low-support instances accepted only {low_correct}/{trials}"
+    );
+    assert!(
+        high_correct >= trials - 1,
+        "high-support instances rejected only {high_correct}/{trials}"
+    );
+}
+
+#[test]
+fn lifted_tester_on_randomized_instances() {
+    let m = 12;
+    let n = 70 * m;
+    let tester = HistogramTester::practical();
+    let lifted = LiftedTester::new(&tester, m, n, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut correct = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let low = t % 2 == 0;
+        let inst = SuppSizeInstance::random(m, low, &mut rng).unwrap();
+        if lifted.decide(&inst, &mut rng).unwrap() == low {
+            correct += 1;
+        }
+    }
+    assert!(correct >= trials - 1, "correct on {correct}/{trials}");
+}
