@@ -1,0 +1,52 @@
+//! Criterion scaling benches for the `distance_to_hk` DP engines on the
+//! canonical stair+noise instance ([`histo_bench::dp_bench_blocks`]):
+//!
+//! - `dp_scaling/fit/{B}x{k}` — [`best_kpiece_fit`] (column engine,
+//!   O(k·B) memory, full reconstruction),
+//! - `dp_scaling/cost/{B}x{k}` — [`best_kpiece_fit_cost`] (scan engine,
+//!   O(B) memory, D&C-primed pruned scans),
+//! - `dp_scaling/reference/{B}x{k}` — the quadratic
+//!   [`best_kpiece_fit_reference`] baseline, run only where it finishes in
+//!   reasonable time (B ≤ 4096, and k ≤ 16 at B = 4096).
+//!
+//! The `exp_dp_scaling` binary times the same grid without Criterion and
+//! writes `BENCH_dp.json` at the repo root for tracked regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use histo_bench::dp_bench_blocks;
+use histo_core::dp::{best_kpiece_fit, best_kpiece_fit_cost, best_kpiece_fit_reference};
+
+const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+const KS: [usize; 3] = [4, 16, 64];
+
+/// The reference DP is O(k·B²) with a Fenwick/BTree factor on top; skip
+/// grid points where that blows past a few seconds per iteration.
+fn reference_feasible(b: usize, k: usize) -> bool {
+    b < 4096 || (b == 4096 && k <= 16)
+}
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_scaling");
+    group.sample_size(10);
+    for &b in &SIZES {
+        let blocks = dp_bench_blocks(b);
+        for &k in &KS {
+            let id = format!("{b}x{k}");
+            group.bench_with_input(BenchmarkId::new("fit", &id), &k, |bch, &k| {
+                bch.iter(|| best_kpiece_fit(&blocks, k).unwrap().l1_cost);
+            });
+            group.bench_with_input(BenchmarkId::new("cost", &id), &k, |bch, &k| {
+                bch.iter(|| best_kpiece_fit_cost(&blocks, k).unwrap());
+            });
+            if reference_feasible(b, k) {
+                group.bench_with_input(BenchmarkId::new("reference", &id), &k, |bch, &k| {
+                    bch.iter(|| best_kpiece_fit_reference(&blocks, k).unwrap().l1_cost);
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_scaling);
+criterion_main!(benches);

@@ -108,7 +108,9 @@ fn main() {
     report.table(runtime);
     let (a, _, r2) = power_law_fit(&points);
     report.note(format!(
-        "runtime exponent in B: {a:.2} (r2 = {r2:.3}); the DP is O(k B^2 + B^2 log B)"
+        "runtime exponent in B: {a:.2} (r2 = {r2:.3}); the column engine does \
+         O(B^2 log B) Fenwick work total plus O(k B^2) pruned flops, vs \
+         O(k B^2 log B) for the quadratic reference (see BENCH_dp.json / exp_dp_scaling)"
     ));
     report.note("exactness gap at machine precision confirms the weighted-median segment DP");
     emit(&report);

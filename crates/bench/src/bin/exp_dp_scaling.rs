@@ -1,0 +1,114 @@
+//! `exp_dp_scaling` — tracked wall-clock baseline for the distance-to-H_k
+//! DP engines.
+//!
+//! Times [`best_kpiece_fit`] (column engine), [`best_kpiece_fit_cost`]
+//! (scan engine) and the quadratic [`best_kpiece_fit_reference`] on the
+//! canonical stair+noise instance over the grid B ∈ {256, 1024, 4096,
+//! 16384} × k ∈ {4, 16, 64}, prints a table, and writes `BENCH_dp.json`
+//! at the repo root so successive PRs can diff the numbers. The reference
+//! is capped at B ≤ 4096 (and k ≤ 16 at B = 4096) where it finishes in
+//! reasonable time; skipped cells are `null` in the JSON.
+//!
+//! Knobs: `FEWBINS_DP_REPS` (timing repetitions per cell, default 3).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use histo_bench::{dp_bench_blocks, fmt};
+use histo_core::dp::{best_kpiece_fit, best_kpiece_fit_cost, best_kpiece_fit_reference, Block};
+
+const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+const KS: [usize; 3] = [4, 16, 64];
+
+fn reference_feasible(b: usize, k: usize) -> bool {
+    b < 4096 || (b == 4096 && k <= 16)
+}
+
+/// Best-of-`reps` wall time in milliseconds (best-of is robust to
+/// scheduler noise on shared machines; reps is small because each cell is
+/// deterministic).
+fn time_ms<F: FnMut() -> f64>(reps: u32, mut f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        value = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, value)
+}
+
+fn main() {
+    let reps: u32 = std::env::var("FEWBINS_DP_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    let mut cells = Vec::new();
+    println!("dp_scaling: stair+noise instance, best of {reps} reps, times in ms");
+    println!(
+        "{:>7} {:>4} {:>12} {:>12} {:>12} {:>9}",
+        "B", "k", "fit_ms", "cost_ms", "ref_ms", "speedup"
+    );
+    for &b in &SIZES {
+        let blocks: Vec<Block> = dp_bench_blocks(b);
+        for &k in &KS {
+            let (fit_ms, fit_cost) = time_ms(reps, || best_kpiece_fit(&blocks, k).unwrap().l1_cost);
+            let (cost_ms, cost_only) = time_ms(reps, || best_kpiece_fit_cost(&blocks, k).unwrap());
+            assert!(
+                (fit_cost - cost_only).abs() <= 1e-9,
+                "engines disagree at B={b} k={k}: {fit_cost} vs {cost_only}"
+            );
+            let reference = if reference_feasible(b, k) {
+                let (ref_ms, ref_cost) = time_ms(reps, || {
+                    best_kpiece_fit_reference(&blocks, k).unwrap().l1_cost
+                });
+                assert!(
+                    (fit_cost - ref_cost).abs() <= 1e-9,
+                    "engine disagrees with reference at B={b} k={k}: {fit_cost} vs {ref_cost}"
+                );
+                Some(ref_ms)
+            } else {
+                None
+            };
+            let speedup = reference.map(|r| r / fit_ms);
+            println!(
+                "{:>7} {:>4} {:>12} {:>12} {:>12} {:>9}",
+                b,
+                k,
+                fmt(fit_ms),
+                fmt(cost_ms),
+                reference.map(fmt).unwrap_or_else(|| "-".into()),
+                speedup
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            cells.push(serde_json::json!({
+                "b": b,
+                "k": k,
+                "fit_ms": fit_ms,
+                "cost_ms": cost_ms,
+                "reference_ms": reference,
+                "speedup_vs_reference": speedup,
+                "l1_cost": fit_cost,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "dp_scaling",
+        "instance": "dp_bench_blocks (16-step staircase + xorshift noise, unit widths)",
+        "reps": reps,
+        "unit": "ms (best of reps)",
+        "threads_available": histo_experiments::num_threads(),
+        "cells": cells,
+    });
+    // CARGO_MANIFEST_DIR = crates/bench; the tracked baseline lives at the
+    // repo root, two levels up.
+    let raw = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = raw.canonicalize().unwrap_or(raw).join("BENCH_dp.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[artifact] write failed: {e}"),
+    }
+}

@@ -9,7 +9,7 @@
 //! k ≪ n, certifying that the same family defeats k-modal testers.
 
 use histo_bench::{emit, fmt, seed, trials};
-use histo_core::dp::distance_to_hk_bounds;
+use histo_core::dp::distance_to_hk_lower_bound;
 use histo_core::modal::{direction_changes, min_l1_to_kmodal};
 use histo_experiments::{ExperimentReport, Table};
 use histo_lowerbounds::QEpsilonFamily;
@@ -55,7 +55,7 @@ fn main() {
         changes.push(direction_changes(d.pmf()) as f64);
         for (i, &k) in ks.iter().enumerate() {
             modal_means[i].push(min_l1_to_kmodal(d.pmf(), k).unwrap() / 2.0);
-            hk_means[i].push(distance_to_hk_bounds(&d, k).unwrap().lower);
+            hk_means[i].push(distance_to_hk_lower_bound(&d, k).unwrap());
         }
     }
     for (i, &k) in ks.iter().enumerate() {

@@ -9,7 +9,7 @@
 //! territory as n grows.
 
 use histo_bench::{emit, fmt, seed, trials};
-use histo_core::dp::distance_to_hk_bounds;
+use histo_core::dp::{distance_to_hk_bounds, distance_to_hk_lower_bound};
 use histo_core::Distribution;
 use histo_experiments::{ExperimentReport, Table};
 use histo_sampling::generators::{gaussian_bump, mixture, staircase, zipf};
@@ -69,8 +69,9 @@ fn main() {
     );
     for (name, d) in workloads(n) {
         // Exact frontier: smallest k with certified distance <= epsilon.
+        // Lower bound only, so use the O(B)-memory cost path.
         let mut k_star = 1;
-        while distance_to_hk_bounds(&d, k_star).unwrap().lower > epsilon && k_star < 128 {
+        while distance_to_hk_lower_bound(&d, k_star).unwrap() > epsilon && k_star < 128 {
             k_star += 1;
         }
         let mut khats = vec![];
@@ -81,8 +82,7 @@ fn main() {
             let sel = doubling_search(&tester, &mut o, epsilon, 256, 3, true, &mut rng).unwrap();
             samples += o.samples_drawn() as f64;
             if let Some(k_hat) = sel.selected_k {
-                let b = distance_to_hk_bounds(&d, k_hat).unwrap();
-                if b.lower <= epsilon + 1e-9 {
+                if distance_to_hk_lower_bound(&d, k_hat).unwrap() <= epsilon + 1e-9 {
                     adequate += 1;
                 }
                 khats.push(k_hat as f64);

@@ -23,16 +23,13 @@ pub fn trials() -> u64 {
         .unwrap_or(40)
 }
 
-/// Worker threads, from `FEWBINS_THREADS` (default: available parallelism).
+/// Worker threads, from `FEWBINS_THREADS` (default: available parallelism,
+/// via [`histo_experiments::num_threads`]).
 pub fn threads() -> usize {
     std::env::var("FEWBINS_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-        })
+        .unwrap_or_else(histo_experiments::num_threads)
 }
 
 /// The shared RNG seed, from `FEWBINS_SEED` (default 160 — the ECCC report
@@ -59,6 +56,34 @@ pub fn emit(report: &histo_experiments::ExperimentReport) {
         Ok(path) => println!("[artifact] {}", path.display()),
         Err(e) => eprintln!("[artifact] write failed: {e}"),
     }
+}
+
+/// The canonical DP benchmark instance: `b` unit-width blocks forming a
+/// 16-step staircase perturbed by deterministic xorshift noise. The
+/// staircase gives the DP real structure to find (pruning can work) while
+/// the noise keeps segment costs non-degenerate — the middle ground between
+/// the best case (pure staircase) and the worst case (pure noise). Shared
+/// by the `dp_scaling` Criterion bench and the `exp_dp_scaling` binary so
+/// `BENCH_dp.json` and Criterion numbers describe the same instances.
+pub fn dp_bench_blocks(b: usize) -> Vec<histo_core::dp::Block> {
+    let mut x = 0x9E37_79B9_97F4_A7C1u64 ^ (b as u64);
+    let mut noise = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let steps = 16.min(b.max(1));
+    (0..b)
+        .map(|i| {
+            let step = (i * steps / b.max(1)) as f64;
+            histo_core::dp::Block {
+                width: 1,
+                level: (step + 1.0) * 0.01 + noise() * 0.003,
+                counted: true,
+            }
+        })
+        .collect()
 }
 
 /// Formats a float compactly for table cells.

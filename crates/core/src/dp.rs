@@ -10,17 +10,71 @@
 //!    because the optimal fit is non-negative (weighted medians of
 //!    non-negative data), renormalizing it yields a genuine element of `H_k`
 //!    whose distance is a certified **upper bound** (at most twice the lower
-//!    bound). [`distance_to_hk_bounds`] packages both.
+//!    bound). [`distance_to_hk_bounds`] packages both;
+//!    [`distance_to_hk_lower_bound`] computes just the lower bound in `O(B)`
+//!    memory via [`best_kpiece_fit_cost`].
 //!
 //! 2. [`check_close_to_hk`] — Algorithm 1, Step 10: decide whether a learned
 //!    `K`-flat hypothesis `D̂` restricted to the surviving subdomain `G` is
 //!    within a TV threshold of some k-histogram, in time polynomial in `K`
 //!    and `k` (the DP of [CDGR16, Lemma 4.11]; breakpoints may be placed at
 //!    block boundaries WLOG because the target is itself block-constant).
+//!    Runs in threshold mode with sound early acceptance.
 //!
 //! 3. [`constrained_distance_to_hk`] — the mass-quantized DP that respects
 //!    the simplex constraint `Σ D* = 1` exactly (up to grid resolution),
 //!    used as a reference implementation in tests and experiment T9.
+//!
+//! # Engine architecture and complexity
+//!
+//! The historical implementation (retained as [`best_kpiece_fit_reference`]
+//! for property testing) materializes B×B `seg_cost`/`seg_level` matrices:
+//! `O(k·B² + B²·log B)` time and `O(B²)` memory. The current engine never
+//! builds those matrices. Its pieces:
+//!
+//! - [`SegCostOracle`]: answers `cost(a, e)` / `level(a, e)` on demand from
+//!   a Fenwick (binary-indexed) tree over the rank-compressed block levels,
+//!   holding `(weight, weight·level)` prefix sums. A query locates the
+//!   weighted median by binary-lifting descent and assembles the two
+//!   half-sums in `O(log B)`; window maintenance is **insert-only** (windows
+//!   grow left along a fixed-`e` sweep or right along a fixed-`a` sweep) with
+//!   explicit path-zeroing resets, so no floating-point drift from
+//!   add/remove cancellation ever accumulates. Memory `O(B)`.
+//!
+//! - **Fit path** ([`best_kpiece_fit`]): an `e`-outer shared-column DP. For
+//!   each right endpoint `e` one descending oracle sweep produces the
+//!   suffix costs `C(s, e)`, and *all* `k` layers consume the column with
+//!   cheap sequential reads of a transposed `B×k` DP table. The sweep stops
+//!   early once `C(s, e)` reaches the maximum of the per-layer running
+//!   bests — admissible because segment cost is monotone under window
+//!   inclusion, so no remaining candidate can strictly improve any layer.
+//!   Worst case `O(B²·log B + k·B²)` time; structured inputs prune far
+//!   below that. Memory `O(k·B)` (the transposed table doubles as the
+//!   backtracking record).
+//!
+//! - **Cost-only / threshold path** ([`best_kpiece_fit_cost`],
+//!   [`check_close_to_hk`]): a layer-outer DP keeping only two rolling rows
+//!   (`O(B)` memory). Each layer is seeded by a divide-and-conquer
+//!   monotone-argmin *primer* (`O(B·log B)` oracle queries) whose value is
+//!   used both for sound early acceptance in threshold mode and as a
+//!   pruning bound for the exact pass; pruned descending scans then close
+//!   the gap exactly. Independent D&C subproblems and disjoint scan chunks
+//!   of a layer run on scoped threads when the instance is large enough
+//!   ([`std::thread::scope`]; deterministic because threads write disjoint
+//!   slices of pre-assigned index ranges).
+//!
+//! ## Why divide-and-conquer alone is *not* exact here
+//!
+//! For SSE/ℓ2 segment costs the classical concave-Monge inequality holds
+//! and pure D&C argmin splitting is exact. The weighted-ℓ1 median cost on
+//! *positional* windows (arbitrary level order) is **not** concave-Monge:
+//! with levels `[0, 0.3, 0.2917, 0.3, 0.6907]` and weights `[2, 7, 2, 7,
+//! 7]`, `C(0,2) + C(2,3) > C(0,3) + C(2,2)` (see
+//! `monge_counterexample_documented` in the tests). Consequently the layer
+//! argmin need not be monotone, and a pure D&C solver can over-estimate.
+//! The engines therefore use D&C only as an upper-bound primer and restore
+//! exactness with admissibly-pruned scans; equivalence against the
+//! quadratic reference is property-tested to 1e-12 (`tests/dp_equivalence`).
 
 use crate::dist::Distribution;
 use crate::error::HistoError;
@@ -120,7 +174,8 @@ impl PiecewiseFit {
 
 /// Weighted-median accumulator over `(level, weight)` pairs supporting
 /// incremental insertion and O(1) queries of the optimal `ℓ1` cost
-/// `min_c Σ w |v − c|`.
+/// `min_c Σ w |v − c|`. Used by the quadratic reference implementation and
+/// as a test oracle for [`SegCostOracle`].
 ///
 /// Invariant: `lower` holds the smaller levels with total weight
 /// `w_lower >= w_upper`, and removing the largest element of `lower` would
@@ -226,18 +281,7 @@ impl MedianCost {
     }
 }
 
-/// Computes the optimal approximation of the block-constant target by a
-/// function with at most `k` pieces (piece boundaries at block boundaries,
-/// which is optimal because the target is block-constant), minimizing the
-/// width-weighted `ℓ1` error over counted blocks.
-///
-/// Runs in `O(k B² + B² log B)` time and `O(B²)` memory for `B` blocks.
-///
-/// # Errors
-///
-/// Returns [`HistoError::InvalidParameter`] if `k == 0` or `blocks` is
-/// empty.
-pub fn best_kpiece_fit(blocks: &[Block], k: usize) -> Result<PiecewiseFit> {
+fn validate_fit_params(blocks: &[Block], k: usize) -> Result<()> {
     if blocks.is_empty() {
         return Err(HistoError::InvalidParameter {
             name: "blocks",
@@ -250,6 +294,20 @@ pub fn best_kpiece_fit(blocks: &[Block], k: usize) -> Result<PiecewiseFit> {
             reason: "need at least one piece".into(),
         });
     }
+    Ok(())
+}
+
+/// The historical quadratic DP, kept verbatim as the equivalence oracle for
+/// property tests and benchmarks: `O(k·B² + B²·log B)` time, `O(B²)`
+/// memory. Use [`best_kpiece_fit`] everywhere else.
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] if `k == 0` or `blocks` is
+/// empty.
+#[doc(hidden)]
+pub fn best_kpiece_fit_reference(blocks: &[Block], k: usize) -> Result<PiecewiseFit> {
+    validate_fit_params(blocks, k)?;
     let b = blocks.len();
     let k = k.min(b);
 
@@ -325,6 +383,628 @@ pub fn best_kpiece_fit(blocks: &[Block], k: usize) -> Result<PiecewiseFit> {
     })
 }
 
+/// Rank compression of block levels shared by every [`SegCostOracle`] over
+/// the same block sequence: sorted distinct levels of counted,
+/// positive-width blocks plus each block's rank (sentinel `u32::MAX` for
+/// blocks that never contribute error).
+#[derive(Debug, Clone)]
+pub struct LevelIndex {
+    rank_of_block: Vec<u32>,
+    levels: Vec<f64>,
+}
+
+impl LevelIndex {
+    /// Builds the index in `O(B log B)`.
+    pub fn new(blocks: &[Block]) -> Self {
+        let mut lv: Vec<f64> = blocks
+            .iter()
+            .filter(|b| b.counted && b.width > 0)
+            .map(|b| if b.level == 0.0 { 0.0 } else { b.level })
+            .collect();
+        lv.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+        lv.dedup();
+        let rank_of_block = blocks
+            .iter()
+            .map(|b| {
+                if b.counted && b.width > 0 {
+                    let v = if b.level == 0.0 { 0.0 } else { b.level };
+                    lv.binary_search_by(|x| x.partial_cmp(&v).expect("finite levels"))
+                        .expect("level present by construction") as u32
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect();
+        LevelIndex {
+            rank_of_block,
+            levels: lv,
+        }
+    }
+
+    /// Number of distinct contributing levels.
+    pub fn distinct_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// On-demand segment-cost oracle over a window of blocks: answers
+/// `cost(a, e)` (optimal 1-piece `ℓ1` error on blocks `a..=e`) and
+/// `level(a, e)` (the optimizing weighted median) without any B×B matrix.
+///
+/// Backed by a Fenwick tree over level ranks holding `(weight,
+/// weight·level)` prefix sums; a query costs `O(log B)` and window moves
+/// are amortized `O(log B)` along sweeps that grow the window leftward
+/// (fixed `e`) or rightward (fixed `a`). Maintenance is insert-only with
+/// explicit path-zeroing resets so no floating-point drift from add/remove
+/// cancellation accumulates across queries. Memory `O(B)`.
+pub struct SegCostOracle<'a> {
+    blocks: &'a [Block],
+    idx: &'a LevelIndex,
+    fw: Vec<f64>,
+    fwv: Vec<f64>,
+    touched: Vec<u32>,
+    total_w: f64,
+    total_wv: f64,
+    lo: usize,
+    hi: usize, // window [lo, hi); empty when lo == hi
+}
+
+impl<'a> SegCostOracle<'a> {
+    /// A fresh oracle with an empty window. The index must have been built
+    /// from the same `blocks`.
+    pub fn new(blocks: &'a [Block], idx: &'a LevelIndex) -> Self {
+        let n = idx.levels.len();
+        Self {
+            blocks,
+            idx,
+            fw: vec![0.0; n + 1],
+            fwv: vec![0.0; n + 1],
+            touched: Vec::with_capacity(64),
+            total_w: 0.0,
+            total_wv: 0.0,
+            lo: 0,
+            hi: 0,
+        }
+    }
+
+    /// Zeroes exactly the Fenwick paths previously touched, restoring a
+    /// pristine (bitwise-zero) tree without an O(levels) clear.
+    fn reset(&mut self) {
+        for t in std::mem::take(&mut self.touched) {
+            let mut pos = t as usize + 1;
+            while pos < self.fw.len() {
+                self.fw[pos] = 0.0;
+                self.fwv[pos] = 0.0;
+                pos += pos & pos.wrapping_neg();
+            }
+        }
+        self.total_w = 0.0;
+        self.total_wv = 0.0;
+        self.lo = 0;
+        self.hi = 0;
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        let r = self.idx.rank_of_block[i];
+        if r == u32::MAX {
+            return;
+        }
+        self.touched.push(r);
+        let w = self.blocks[i].width as f64;
+        let wv = w * self.idx.levels[r as usize];
+        self.total_w += w;
+        self.total_wv += wv;
+        let mut pos = r as usize + 1;
+        while pos < self.fw.len() {
+            self.fw[pos] += w;
+            self.fwv[pos] += wv;
+            pos += pos & pos.wrapping_neg();
+        }
+    }
+
+    /// Points the window at blocks `a..=e`. Amortized `O(log B)` per call
+    /// along sweeps that fix `e` and decrease `a`, or fix `a` and increase
+    /// `e`; otherwise `O(width · log B)` to rebuild.
+    fn set_window(&mut self, a: usize, e: usize) {
+        let b_excl = e + 1;
+        if a == self.lo && b_excl >= self.hi && self.lo != self.hi {
+            // Grow right (ascending-e sweep).
+            for i in self.hi..b_excl {
+                self.insert(i);
+            }
+            self.hi = b_excl;
+        } else if self.hi == b_excl && self.lo != self.hi && a <= self.lo {
+            // Grow left (descending-a sweep).
+            for i in (a..self.lo).rev() {
+                self.insert(i);
+            }
+            self.lo = a;
+        } else {
+            self.reset();
+            self.lo = a;
+            self.hi = b_excl;
+            for i in a..b_excl {
+                self.insert(i);
+            }
+        }
+    }
+
+    /// (optimal 1-piece cost, optimizing level) of the current window.
+    fn query(&self) -> (f64, f64) {
+        if self.total_w <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let n = self.fw.len() - 1;
+        // Largest prefix of ranks with 2·weight < total; the weighted
+        // (lower) median is the next rank — the same convention as
+        // `MedianCost::median` (max of the dominating lower half).
+        let mut pos = 0usize;
+        let mut wacc = 0.0;
+        let mut step = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && 2.0 * (wacc + self.fw[next]) < self.total_w {
+                pos = next;
+                wacc += self.fw[next];
+            }
+            step >>= 1;
+        }
+        let m = self.idx.levels[pos];
+        // Prefix sums including the median bucket.
+        let (mut wle, mut sle) = (0.0, 0.0);
+        let mut q = pos + 1;
+        while q > 0 {
+            wle += self.fw[q];
+            sle += self.fwv[q];
+            q &= q - 1;
+        }
+        let cost = (m * wle - sle) + (self.total_wv - sle) - m * (self.total_w - wle);
+        (cost.max(0.0), m)
+    }
+
+    /// Optimal 1-piece `ℓ1` cost on blocks `a..=e`.
+    pub fn cost(&mut self, a: usize, e: usize) -> f64 {
+        self.set_window(a, e);
+        self.query().0
+    }
+
+    /// The cost-optimizing level (weighted median) on blocks `a..=e`.
+    pub fn level(&mut self, a: usize, e: usize) -> f64 {
+        self.set_window(a, e);
+        self.query().1
+    }
+}
+
+/// Spawn scoped threads only when a layer spans at least this many blocks;
+/// below it, thread setup dwarfs the work.
+const PAR_MIN_SPAN: usize = 2048;
+/// Primer D&C nodes narrower than this run sequentially inside their
+/// worker.
+const PAR_LEAF_SPAN: usize = 512;
+
+fn dp_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// D&C upper-bound primer for one layer, sequential: fills
+/// `out[e - base] = (value, argmin)` for `e in elo..=ehi` under the
+/// monotone-argmin restriction, recursing on the midpoint's argmin. The
+/// weighted-ℓ1 segment cost is **not** concave-Monge on positional windows
+/// (see module docs), so `value` is an achievable candidate (upper bound),
+/// not necessarily the optimum; the exact pass closes the gap.
+#[allow(clippy::too_many_arguments)]
+fn primer_seq(
+    oracle: &mut SegCostOracle,
+    dp_prev: &[f64],
+    out: &mut [(f64, u32)],
+    base: usize,
+    elo: usize,
+    ehi: usize,
+    slo: usize,
+    shi: usize,
+) {
+    if elo > ehi {
+        return;
+    }
+    let mid = (elo + ehi) / 2;
+    let mut best = f64::INFINITY;
+    let mut arg = slo;
+    // Descending scan keeps the oracle window insert-only.
+    for s in (slo..=shi.min(mid)).rev() {
+        let c = oracle.cost(s, mid);
+        let v = dp_prev[s - 1] + c;
+        if v < best {
+            best = v;
+            arg = s;
+        }
+    }
+    out[mid - base] = (best, arg as u32);
+    if mid > elo {
+        primer_seq(oracle, dp_prev, out, base, elo, mid - 1, slo, arg);
+    }
+    primer_seq(oracle, dp_prev, out, base, mid + 1, ehi, arg, shi);
+}
+
+/// Parallel primer: solves the midpoint, then hands the two independent
+/// D&C subproblems to scoped threads (left spawned, right inline) down to
+/// `depth` levels. Deterministic: subproblems own disjoint `out` slices
+/// and every value is a pure function of its pre-assigned index range.
+#[allow(clippy::too_many_arguments)]
+fn primer_par<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    depth: usize,
+    blocks: &'env [Block],
+    idx: &'env LevelIndex,
+    dp_prev: &'env [f64],
+    elo: usize,
+    ehi: usize,
+    slo: usize,
+    shi: usize,
+    out: &'env mut [(f64, u32)], // covers elo..=ehi
+) {
+    if elo > ehi {
+        return;
+    }
+    if depth == 0 || ehi - elo < PAR_LEAF_SPAN {
+        let mut oracle = SegCostOracle::new(blocks, idx);
+        primer_seq(&mut oracle, dp_prev, out, elo, elo, ehi, slo, shi);
+        return;
+    }
+    let mid = (elo + ehi) / 2;
+    let mut oracle = SegCostOracle::new(blocks, idx);
+    let mut best = f64::INFINITY;
+    let mut arg = slo;
+    for s in (slo..=shi.min(mid)).rev() {
+        let c = oracle.cost(s, mid);
+        let v = dp_prev[s - 1] + c;
+        if v < best {
+            best = v;
+            arg = s;
+        }
+    }
+    drop(oracle);
+    let (left, rest) = out.split_at_mut(mid - elo);
+    let (mid_slot, right) = rest.split_at_mut(1);
+    mid_slot[0] = (best, arg as u32);
+    if mid > elo {
+        scope.spawn(move || {
+            primer_par(
+                scope,
+                depth - 1,
+                blocks,
+                idx,
+                dp_prev,
+                elo,
+                mid - 1,
+                slo,
+                arg,
+                left,
+            );
+        });
+    }
+    primer_par(
+        scope,
+        depth - 1,
+        blocks,
+        idx,
+        dp_prev,
+        mid + 1,
+        ehi,
+        arg,
+        shi,
+        right,
+    );
+}
+
+/// Exact layer values for `e in base..base + out.len()`: descending scans
+/// pruned by the primer value `ubh[e].0` and the running best. The break
+/// is admissible — `C(s, e)` only grows as `s` decreases and `dp_prev >=
+/// 0` — and the primer value is achievable, so `min(scan, primer)` is the
+/// true layer optimum.
+#[allow(clippy::too_many_arguments)]
+fn exact_scan_range(
+    oracle: &mut SegCostOracle,
+    dp_prev: &[f64],
+    ubh: &[(f64, u32)],
+    p: usize,
+    base: usize,
+    out: &mut [f64],
+) {
+    for (off, slot) in out.iter_mut().enumerate() {
+        let e = base + off;
+        let (u, _) = ubh[e];
+        let mut best = f64::INFINITY;
+        for s in (p..=e).rev() {
+            let c = oracle.cost(s, e);
+            if c >= best.min(u) {
+                break;
+            }
+            let v = dp_prev[s - 1] + c;
+            if v < best {
+                best = v;
+            }
+        }
+        *slot = best.min(u);
+    }
+}
+
+enum Mode {
+    CostOnly,
+    Threshold(f64),
+}
+
+struct EngineOut {
+    /// `finals[p]` = optimal cost with exactly `p + 1` pieces (or `inf`).
+    finals: Vec<f64>,
+    /// Threshold-mode decision (None in cost-only mode).
+    accepted: Option<bool>,
+}
+
+/// The rolling-row layer-outer engine behind the cost-only and threshold
+/// entry points: `O(B)` memory, per-layer D&C primer + pruned exact scans,
+/// scoped-thread parallelism over independent subproblems when the span
+/// and `threads` allow.
+fn scan_engine(blocks: &[Block], k: usize, mode: Mode, threads: usize) -> EngineOut {
+    let b = blocks.len();
+    let k = k.min(b);
+    let idx = LevelIndex::new(blocks);
+    let mut oracle = SegCostOracle::new(blocks, &idx);
+
+    // Layer 0: one ascending insert-only sweep.
+    let mut dp_prev = vec![f64::INFINITY; b];
+    for (e, slot) in dp_prev.iter_mut().enumerate() {
+        *slot = oracle.cost(0, e);
+    }
+    let mut finals = vec![dp_prev[b - 1]];
+    if let Mode::Threshold(t) = mode {
+        if dp_prev[b - 1] / 2.0 <= t {
+            return EngineOut {
+                finals,
+                accepted: Some(true),
+            };
+        }
+    }
+
+    let parallel = threads >= 2 && b >= PAR_MIN_SPAN;
+    let depth = threads.next_power_of_two().trailing_zeros() as usize;
+    let mut ubh = vec![(f64::INFINITY, 0u32); b];
+    let mut dp_cur = vec![f64::INFINITY; b];
+    for p in 1..k {
+        if finals[p - 1] <= 0.0 {
+            break; // zero cost cannot improve
+        }
+        for x in ubh.iter_mut() {
+            *x = (f64::INFINITY, 0);
+        }
+        if parallel {
+            std::thread::scope(|scope| {
+                primer_par(
+                    scope,
+                    depth,
+                    blocks,
+                    &idx,
+                    &dp_prev,
+                    p,
+                    b - 1,
+                    p,
+                    b - 1,
+                    &mut ubh[p..],
+                );
+            });
+        } else {
+            primer_seq(&mut oracle, &dp_prev, &mut ubh[p..], p, p, b - 1, p, b - 1);
+        }
+        if let Mode::Threshold(t) = mode {
+            // The primer value is achievable, so it already certifies
+            // closeness: sound early accept before the exact pass.
+            if ubh[b - 1].0 / 2.0 <= t {
+                finals.push(ubh[b - 1].0);
+                return EngineOut {
+                    finals,
+                    accepted: Some(true),
+                };
+            }
+        }
+        for x in dp_cur.iter_mut() {
+            *x = f64::INFINITY;
+        }
+        if parallel {
+            let chunk = (b - p).div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut rest = &mut dp_cur[p..];
+                let mut base = p;
+                let dp_prev = &dp_prev;
+                let ubh = &ubh;
+                let idx = &idx;
+                while !rest.is_empty() {
+                    let len = chunk.min(rest.len());
+                    let (head, tail) = rest.split_at_mut(len);
+                    scope.spawn(move || {
+                        let mut o = SegCostOracle::new(blocks, idx);
+                        exact_scan_range(&mut o, dp_prev, ubh, p, base, head);
+                    });
+                    rest = tail;
+                    base += len;
+                }
+            });
+        } else {
+            exact_scan_range(&mut oracle, &dp_prev, &ubh, p, p, &mut dp_cur[p..]);
+        }
+        finals.push(dp_cur[b - 1]);
+        if let Mode::Threshold(t) = mode {
+            if dp_cur[b - 1] / 2.0 <= t {
+                return EngineOut {
+                    finals,
+                    accepted: Some(true),
+                };
+            }
+        }
+        std::mem::swap(&mut dp_prev, &mut dp_cur);
+    }
+    let accepted = match mode {
+        Mode::Threshold(t) => {
+            let m = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+            Some(m / 2.0 <= t)
+        }
+        Mode::CostOnly => None,
+    };
+    EngineOut { finals, accepted }
+}
+
+/// The `e`-outer shared-column fit engine (see module docs). Returns the
+/// transposed DP table `dpt[e·k + p]` (cost of covering `0..=e` with
+/// exactly `p + 1` pieces), the matching argmin table, and the effective
+/// `k`. Sequential by necessity: row `e` depends on rows `< e`.
+fn fit_engine(blocks: &[Block], k: usize) -> (Vec<f64>, Vec<u32>, usize) {
+    let b = blocks.len();
+    let k = k.min(b);
+    let idx = LevelIndex::new(blocks);
+    let mut dpt = vec![f64::INFINITY; b * k];
+    let mut cht = vec![0u32; b * k];
+    let mut asc = SegCostOracle::new(blocks, &idx); // window [0, e]
+    let mut col = SegCostOracle::new(blocks, &idx); // window [s, e]
+    let mut best = vec![f64::INFINITY; k];
+    let mut arg = vec![0u32; k];
+    for e in 0..b {
+        dpt[e * k] = asc.cost(0, e);
+        if k == 1 {
+            continue;
+        }
+        for p in 1..k {
+            best[p] = f64::INFINITY;
+            arg[p] = p as u32;
+        }
+        // One descending sweep produces the suffix-cost column C(s, e);
+        // every layer consumes it with sequential reads of the transposed
+        // previous rows. Admissible break: C is monotone in window
+        // inclusion, so once it reaches the max of the running bests no
+        // remaining candidate strictly improves any layer.
+        let mut cap = f64::INFINITY;
+        let mut cap_p = 1usize;
+        for s in (1..=e).rev() {
+            let c = col.cost(s, e);
+            if c >= cap {
+                break;
+            }
+            let prev = &dpt[(s - 1) * k..s * k];
+            let p_hi = k.min(s + 1);
+            let mut cap_entry_improved = false;
+            for p in 1..p_hi {
+                let v = prev[p - 1] + c;
+                if v < best[p] {
+                    best[p] = v;
+                    arg[p] = s as u32;
+                    if p == cap_p {
+                        cap_entry_improved = true;
+                    }
+                }
+            }
+            if cap.is_infinite() || cap_entry_improved {
+                cap = f64::NEG_INFINITY;
+                for (p, &bp) in best.iter().enumerate().skip(1) {
+                    if bp.is_finite() && bp > cap {
+                        cap = bp;
+                        cap_p = p;
+                    }
+                }
+                if cap == f64::NEG_INFINITY {
+                    cap = f64::INFINITY;
+                }
+            }
+        }
+        for p in 1..k {
+            dpt[e * k + p] = best[p];
+            cht[e * k + p] = arg[p];
+        }
+    }
+    (dpt, cht, k)
+}
+
+/// Computes the optimal approximation of the block-constant target by a
+/// function with at most `k` pieces (piece boundaries at block boundaries,
+/// which is optimal because the target is block-constant), minimizing the
+/// width-weighted `ℓ1` error over counted blocks.
+///
+/// Shared-column DP with an on-demand [`SegCostOracle`]: worst-case
+/// `O(B²·log B + k·B²)` time with admissible pruning (structured inputs
+/// run far below that), `O(k·B)` memory — no B×B matrices. Exact;
+/// property-tested against [`best_kpiece_fit_reference`].
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] if `k == 0` or `blocks` is
+/// empty.
+pub fn best_kpiece_fit(blocks: &[Block], k: usize) -> Result<PiecewiseFit> {
+    validate_fit_params(blocks, k)?;
+    let b = blocks.len();
+    let (dpt, cht, k) = fit_engine(blocks, k);
+
+    // Fewer pieces can never beat more pieces, so take the best over p <= k
+    // (last minimal layer, matching the reference's min_by semantics).
+    let last_row = &dpt[(b - 1) * k..b * k];
+    let (best_p, &best_cost) = last_row
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, c)| a.partial_cmp(c).expect("finite costs"))
+        .expect("k >= 1");
+
+    // Reconstruct pieces right-to-left.
+    let mut starts = Vec::with_capacity(best_p + 1);
+    let mut end = b - 1;
+    let mut p = best_p;
+    loop {
+        let start = if p == 0 { 0 } else { cht[end * k + p] as usize };
+        starts.push(start);
+        if p == 0 {
+            break;
+        }
+        end = start - 1;
+        p -= 1;
+    }
+    starts.reverse();
+    let idx = LevelIndex::new(blocks);
+    let mut oracle = SegCostOracle::new(blocks, &idx);
+    let mut levels = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        let e = starts.get(i + 1).map(|&x| x - 1).unwrap_or(b - 1);
+        levels.push(oracle.level(s, e));
+    }
+    Ok(PiecewiseFit {
+        l1_cost: best_cost,
+        piece_starts: starts,
+        piece_levels: levels,
+    })
+}
+
+/// The optimal `<= k`-piece `ℓ1` cost alone, via the rolling-row engine:
+/// `O(B)` memory, no backtracking state. Equals
+/// [`best_kpiece_fit`]`.l1_cost` exactly (property-tested).
+///
+/// # Errors
+///
+/// Returns [`HistoError::InvalidParameter`] if `k == 0` or `blocks` is
+/// empty.
+pub fn best_kpiece_fit_cost(blocks: &[Block], k: usize) -> Result<f64> {
+    validate_fit_params(blocks, k)?;
+    let out = scan_engine(blocks, k, Mode::CostOnly, dp_threads());
+    Ok(out.finals.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+#[doc(hidden)]
+pub fn best_kpiece_fit_cost_with_threads(
+    blocks: &[Block],
+    k: usize,
+    threads: usize,
+) -> Result<f64> {
+    validate_fit_params(blocks, k)?;
+    let out = scan_engine(blocks, k, Mode::CostOnly, threads.max(1));
+    Ok(out.finals.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
 /// Certified bounds on `d_TV(D, H_k)` together with a witness histogram.
 #[derive(Debug, Clone)]
 pub struct HkDistanceBounds {
@@ -375,6 +1055,18 @@ pub fn distance_to_hk_bounds(d: &Distribution, k: usize) -> Result<HkDistanceBou
     })
 }
 
+/// The certified lower bound on `d_TV(D, H_k)` alone — half the optimal
+/// k-piece function cost — in `O(B)` memory (no witness, no backtracking).
+/// Use when scanning many `k` values (model selection, k-modal bounds).
+///
+/// # Errors
+///
+/// Propagates parameter errors from [`best_kpiece_fit_cost`].
+pub fn distance_to_hk_lower_bound(d: &Distribution, k: usize) -> Result<f64> {
+    let blocks = blocks_from_distribution(d);
+    Ok((best_kpiece_fit_cost(&blocks, k)? / 2.0).max(0.0))
+}
+
 /// Algorithm 1, Step 10: is there a `D* ∈ H_k` with restricted TV distance
 /// `d^G_TV(D̂, D*) <= threshold`, where `G` is the union of the intervals of
 /// `h`'s partition flagged `true` in `counted`?
@@ -383,6 +1075,11 @@ pub fn distance_to_hk_bounds(d: &Distribution, k: usize) -> Result<HkDistanceBou
 /// this check is at least as permissive as the paper's — completeness is
 /// preserved exactly, and any extra permissiveness is caught by the final
 /// χ² test (Step 13). See module docs.
+///
+/// Runs the rolling-row engine in threshold mode: accepts as soon as any
+/// layer (or its achievable D&C primer value) certifies closeness, without
+/// finishing the remaining layers; the decision equals comparing the exact
+/// optimal cost (sound early accept, exact final compare).
 ///
 /// # Errors
 ///
@@ -394,8 +1091,9 @@ pub fn check_close_to_hk(
     threshold: f64,
 ) -> Result<bool> {
     let blocks = blocks_from_histogram(h, counted)?;
-    let fit = best_kpiece_fit(&blocks, k)?;
-    Ok(fit.l1_cost / 2.0 <= threshold)
+    validate_fit_params(&blocks, k)?;
+    let out = scan_engine(&blocks, k, Mode::Threshold(threshold), dp_threads());
+    Ok(out.accepted.expect("threshold mode yields a decision"))
 }
 
 /// Reference implementation with the simplex constraint: the minimal
@@ -403,8 +1101,10 @@ pub fn check_close_to_hk(
 /// function with total mass exactly 1 (mass quantized to `mass_units`
 /// units; additive error `O(k / mass_units)`).
 ///
-/// State space is `O(B·k·mass_units)` with `O(B·mass_units)` transitions
-/// per state — use small instances only (tests, experiment T9).
+/// State space is `O(B·mass_units)` (two rolling piece-layers) with
+/// `O(B·mass_units)` transitions per state — use small instances only
+/// (tests, experiment T9). Terminates early once an added piece no longer
+/// improves any state.
 ///
 /// # Errors
 ///
@@ -445,34 +1145,41 @@ pub fn constrained_distance_to_hk(blocks: &[Block], k: usize, mass_units: usize)
             .sum()
     };
 
-    // dp[p][e][q]: minimal cost covering blocks 0..=e with <= p+1 pieces
-    // using exactly q mass units. Iterate pieces outermost.
-    let inf = f64::INFINITY;
-    let mut dp = vec![vec![inf; mass_units + 1]; b];
-    // one piece: covers 0..=e with q units
+    // prev[e][q]: minimal cost covering blocks 0..=e with the pieces so far
+    // using exactly q mass units. Two rolling piece-layers only.
+    let mut prev = vec![vec![f64::INFINITY; mass_units + 1]; b];
     for e in 0..b {
         for q in 0..=mass_units {
-            dp[e][q] = cost_of(0, e, q as f64 * delta);
+            prev[e][q] = cost_of(0, e, q as f64 * delta);
         }
     }
+    let mut cur = prev.clone();
     for _piece in 1..k {
-        let mut next = dp.clone(); // <= p+1 pieces includes <= p pieces
-        for e in 0..b {
+        if prev[b - 1][mass_units] <= 0.0 {
+            break; // already perfect; more pieces cannot improve
+        }
+        cur.clone_from(&prev); // <= p+1 pieces includes <= p pieces
+        let mut improved = false;
+        for e in 1..b {
             for q in 0..=mass_units {
                 // last piece spans start..=e with t units
                 for start in 1..=e {
                     for t in 0..=q {
-                        let cand = dp[start - 1][q - t] + cost_of(start, e, t as f64 * delta);
-                        if cand < next[e][q] {
-                            next[e][q] = cand;
+                        let cand = prev[start - 1][q - t] + cost_of(start, e, t as f64 * delta);
+                        if cand < cur[e][q] {
+                            cur[e][q] = cand;
+                            improved = true;
                         }
                     }
                 }
             }
         }
-        dp = next;
+        if !improved {
+            break; // converged: further layers are identical
+        }
+        std::mem::swap(&mut prev, &mut cur);
     }
-    Ok(dp[b - 1][mass_units] / 2.0)
+    Ok(prev[b - 1][mass_units] / 2.0)
 }
 
 #[cfg(test)]
@@ -680,11 +1387,110 @@ mod tests {
     }
 
     #[test]
+    fn oracle_matches_median_cost_on_all_windows() {
+        // Exhaustive window check of the Fenwick oracle against the
+        // two-heap accumulator, with ties, zero widths, and uncounted
+        // blocks in the mix.
+        let blocks = vec![
+            Block::counted(2, 0.3),
+            Block::counted(1, 0.1),
+            Block {
+                width: 3,
+                level: 0.7,
+                counted: false,
+            },
+            Block::counted(0, 0.9),
+            Block::counted(4, 0.1),
+            Block::counted(2, 0.3),
+            Block::counted(1, 0.0),
+        ];
+        let idx = LevelIndex::new(&blocks);
+        let mut oracle = SegCostOracle::new(&blocks, &idx);
+        for a in 0..blocks.len() {
+            for e in a..blocks.len() {
+                let mut mc = MedianCost::new();
+                for bl in &blocks[a..=e] {
+                    if bl.counted {
+                        mc.insert(bl.level, bl.width as f64);
+                    }
+                }
+                assert!(
+                    (oracle.cost(a, e) - mc.cost()).abs() < 1e-14,
+                    "cost mismatch on window [{a}, {e}]"
+                );
+                assert_eq!(
+                    oracle.level(a, e),
+                    mc.median(),
+                    "median mismatch on window [{a}, {e}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monge_counterexample_documented() {
+        // The weighted-l1 median cost on positional windows violates the
+        // concave-Monge (quadrangle) inequality, so pure D&C argmin
+        // splitting would be inexact — this instance certifies the claim
+        // (see module docs for why the engines stay exact regardless).
+        let vals = [0.0, 0.3, 0.2917, 0.3, 0.6907];
+        let wts = [2.0, 7.0, 2.0, 7.0, 7.0];
+        let cost = |a: usize, e: usize| {
+            let mut mc = MedianCost::new();
+            for i in a..=e {
+                mc.insert(vals[i], wts[i]);
+            }
+            mc.cost()
+        };
+        // Quadrangle inequality would demand
+        // C(0,2) + C(2,3) <= C(0,3) + C(2,2); it fails here.
+        assert!(
+            cost(0, 2) + cost(2, 3) > cost(0, 3) + cost(2, 2) + 1e-6,
+            "expected a quadrangle-inequality violation"
+        );
+        // The engines remain exact on the same data.
+        let blocks: Vec<Block> = vals
+            .iter()
+            .zip(&wts)
+            .map(|(&v, &w)| Block::counted(w as usize, v))
+            .collect();
+        for k in 1..=4 {
+            let fit = best_kpiece_fit(&blocks, k).unwrap();
+            let reference = best_kpiece_fit_reference(&blocks, k).unwrap();
+            assert!((fit.l1_cost - reference.l1_cost).abs() < 1e-12, "k = {k}");
+            let cost_only = best_kpiece_fit_cost(&blocks, k).unwrap();
+            assert!((cost_only - reference.l1_cost).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_engine_is_deterministic() {
+        // Large enough to cross PAR_MIN_SPAN so the scoped-thread primer
+        // and chunked scans actually run; values must be identical to the
+        // sequential engine's bitwise.
+        let blocks: Vec<Block> = (0..2500)
+            .map(|i| {
+                let step = (i / 250) as f64;
+                let noise = ((i * 2654435761_usize) % 97) as f64 / 970.0;
+                Block::counted(1, 0.01 + step * 0.002 + noise * 0.001)
+            })
+            .collect();
+        for k in [2, 5] {
+            let seq = best_kpiece_fit_cost_with_threads(&blocks, k, 1).unwrap();
+            let par = best_kpiece_fit_cost_with_threads(&blocks, k, 4).unwrap();
+            assert_eq!(seq, par, "k = {k}");
+        }
+    }
+
+    #[test]
     fn errors_on_bad_parameters() {
         let x = d(&[0.5, 0.5]);
         let blocks = blocks_from_distribution(&x);
         assert!(best_kpiece_fit(&blocks, 0).is_err());
         assert!(best_kpiece_fit(&[], 1).is_err());
+        assert!(best_kpiece_fit_cost(&blocks, 0).is_err());
+        assert!(best_kpiece_fit_cost(&[], 1).is_err());
+        assert!(best_kpiece_fit_reference(&blocks, 0).is_err());
         assert!(constrained_distance_to_hk(&blocks, 1, 0).is_err());
     }
 }

@@ -1,0 +1,99 @@
+//! Property tests pinning the fast DP engines to the quadratic reference.
+//!
+//! `best_kpiece_fit` (column engine) and `best_kpiece_fit_cost` (pruned
+//! scan engine) must reproduce `best_kpiece_fit_reference` exactly (within
+//! summation-order float noise) on adversarial block sequences: tied
+//! levels, zero-width blocks, uncounted blocks, and k >= B. The fit must
+//! additionally be structurally valid and its reported cost must match the
+//! cost recomputed from its own pieces.
+
+use histo_core::dp::{best_kpiece_fit, best_kpiece_fit_cost, best_kpiece_fit_reference, Block};
+use proptest::prelude::*;
+
+/// Block sequences designed to hit the oracle's edge cases: levels drawn
+/// from a small tied palette or a continuous range, widths including 0,
+/// and ~1/5 of blocks uncounted.
+fn arb_blocks() -> impl Strategy<Value = Vec<Block>> {
+    let level = prop_oneof![
+        // Heavy ties (small palette, incl. exact zero).
+        prop::sample::select(vec![0.0, 0.1, 0.25, 0.25, 0.5]),
+        // Continuous levels.
+        (0.0..1.0f64),
+    ];
+    let block = (level, 0usize..5, 0u8..5).prop_map(|(level, width, c)| Block {
+        width,
+        level,
+        counted: c != 0,
+    });
+    prop::collection::vec(block, 1..24)
+}
+
+/// Total |level - piece_level|·width over counted blocks for a fit, from
+/// its own pieces — independent of the DP's internal accounting.
+fn recomputed_cost(blocks: &[Block], starts: &[usize], levels: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (i, &s) in starts.iter().enumerate() {
+        let e = starts.get(i + 1).copied().unwrap_or(blocks.len());
+        for bl in &blocks[s..e] {
+            if bl.counted {
+                total += (bl.level - levels[i]).abs() * bl.width as f64;
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engines_match_reference((blocks, k) in arb_blocks().prop_flat_map(|b| {
+        let hi = b.len() + 4; // includes k >= B
+        (Just(b), 1usize..hi)
+    })) {
+        let reference = best_kpiece_fit_reference(&blocks, k).unwrap();
+        let fit = best_kpiece_fit(&blocks, k).unwrap();
+        let cost = best_kpiece_fit_cost(&blocks, k).unwrap();
+        prop_assert!(
+            (fit.l1_cost - reference.l1_cost).abs() < 1e-12,
+            "column engine {} vs reference {}", fit.l1_cost, reference.l1_cost
+        );
+        prop_assert!(
+            (cost - reference.l1_cost).abs() < 1e-12,
+            "scan engine {} vs reference {}", cost, reference.l1_cost
+        );
+    }
+
+    #[test]
+    fn fit_structure_is_valid((blocks, k) in arb_blocks().prop_flat_map(|b| {
+        let hi = b.len() + 4;
+        (Just(b), 1usize..hi)
+    })) {
+        let fit = best_kpiece_fit(&blocks, k).unwrap();
+        prop_assert_eq!(fit.piece_starts.len(), fit.piece_levels.len());
+        prop_assert!(!fit.piece_starts.is_empty());
+        prop_assert_eq!(fit.piece_starts[0], 0);
+        prop_assert!(fit.piece_starts.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*fit.piece_starts.last().unwrap() < blocks.len());
+        prop_assert!(fit.piece_starts.len() <= k.min(blocks.len()));
+        let rec = recomputed_cost(&blocks, &fit.piece_starts, &fit.piece_levels);
+        prop_assert!(
+            (rec - fit.l1_cost).abs() < 1e-9,
+            "pieces cost {} but fit claims {}", rec, fit.l1_cost
+        );
+    }
+
+    /// Degenerate shapes the oracle must not choke on: k >= B always fits
+    /// each block its own piece (cost 0 on counted blocks), and all-uncounted
+    /// or all-zero-width inputs cost exactly 0 for every k.
+    #[test]
+    fn degenerate_inputs_cost_zero(mut blocks in arb_blocks(), k in 1usize..6) {
+        let fit = best_kpiece_fit(&blocks, blocks.len() + 1).unwrap();
+        prop_assert!(fit.l1_cost.abs() < 1e-12, "k >= B cost {}", fit.l1_cost);
+        for b in blocks.iter_mut() {
+            b.counted = false;
+        }
+        let cost = best_kpiece_fit_cost(&blocks, k).unwrap();
+        prop_assert!(cost.abs() < 1e-12, "all-uncounted cost {cost}");
+    }
+}

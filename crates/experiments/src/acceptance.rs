@@ -51,8 +51,18 @@ impl AcceptanceEstimate {
 
 /// Estimates `P[tester accepts]` over `trials` independent trials, each on
 /// a fresh instance from `ensemble`, running trials in parallel across
-/// `threads` workers. Per-trial RNGs are `StdRng::seed_from_u64(seed ^ i)`,
-/// so results are independent of the thread count.
+/// `threads` workers (`0` = one per available core, via
+/// [`crate::num_threads`]).
+///
+/// The trial RNG is seeded as
+/// `StdRng::seed_from_u64(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i)`
+/// — a splitmix-style mix of the base seed with the trial index `i`, so
+/// that nearby trial indices get well-separated streams. Because the seed
+/// is a pure function of `(seed, i)` and workers claim trial indices from
+/// a shared atomic counter, every trial computes the same result no matter
+/// which worker runs it: estimates are **bitwise independent of the thread
+/// count** (only the merge order of the commutative accumulators varies,
+/// and the accept count / sample stats are permutation-invariant).
 ///
 /// # Panics
 ///
@@ -68,7 +78,11 @@ pub fn estimate_acceptance(
     seed: u64,
     threads: usize,
 ) -> AcceptanceEstimate {
-    let threads = threads.max(1);
+    let threads = if threads == 0 {
+        crate::num_threads()
+    } else {
+        threads
+    };
     let results = parking_lot::Mutex::new((0u64, RunningStats::new()));
     let next = std::sync::atomic::AtomicU64::new(0);
 

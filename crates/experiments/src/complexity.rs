@@ -32,7 +32,8 @@ pub struct BudgetSearch {
     pub max_scale: f64,
     /// Bisection steps after bracketing.
     pub bisection_steps: usize,
-    /// Worker threads.
+    /// Worker threads (`0` = one per available core, via
+    /// [`crate::num_threads`]).
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
@@ -46,7 +47,7 @@ impl Default for BudgetSearch {
             initial_scale: 1.0 / 64.0,
             max_scale: 64.0,
             bisection_steps: 5,
-            threads: 8,
+            threads: 0,
             seed: 0xC0FFEE,
         }
     }

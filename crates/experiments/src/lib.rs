@@ -24,6 +24,16 @@ pub mod complexity;
 pub mod fitting;
 pub mod report;
 
+/// Worker-thread count for parallel trial estimation: one per available
+/// core (1 if the platform cannot report parallelism). Used whenever a
+/// caller passes `threads == 0` ("auto") and as the default for the bench
+/// binaries' `FEWBINS_THREADS` knob.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 pub use acceptance::{estimate_acceptance, AcceptanceEstimate, InstanceEnsemble};
 pub use complexity::{minimal_budget, BudgetSearch, InstancePair};
 pub use report::{ExperimentReport, Table};

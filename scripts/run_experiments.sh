@@ -8,8 +8,8 @@ out="${1:-experiments_output.txt}"
 bins=(
   exp_operating_characteristic exp_scaling_n exp_scaling_k exp_baselines
   exp_lb_paninski exp_lb_cover exp_lb_reduction exp_learner exp_approx_part
-  exp_z_statistic exp_sieve exp_dp_check exp_model_selection exp_kmodal
-  exp_ablation exp_fixed_partition exp_paper_constants
+  exp_z_statistic exp_sieve exp_dp_check exp_dp_scaling exp_model_selection
+  exp_kmodal exp_ablation exp_fixed_partition exp_paper_constants
 )
 for b in "${bins[@]}"; do
   echo "=== $b ===" | tee -a "$out"
