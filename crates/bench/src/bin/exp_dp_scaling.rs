@@ -9,7 +9,15 @@
 //! is capped at B ≤ 4096 (and k ≤ 16 at B = 4096) where it finishes in
 //! reasonable time; skipped cells are `null` in the JSON.
 //!
-//! Knobs: `FEWBINS_DP_REPS` (timing repetitions per cell, default 3).
+//! Knobs:
+//!
+//! - `FEWBINS_DP_REPS`: timing repetitions per cell (default 3).
+//! - `FEWBINS_DP_GRID`: override the `B × k` grid, formatted as
+//!   `B1,B2,...xK1,K2,...` (e.g. `256,1024x4,16`). The CI regression gate
+//!   (`scripts/check_bench_regression.py`) uses this to re-time a cheap
+//!   sub-grid of the tracked baseline.
+//! - `FEWBINS_DP_OUT`: write the JSON report to this path instead of the
+//!   tracked `BENCH_dp.json` (so gate re-runs never clobber the baseline).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -19,6 +27,30 @@ use histo_core::dp::{best_kpiece_fit, best_kpiece_fit_cost, best_kpiece_fit_refe
 
 const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
 const KS: [usize; 3] = [4, 16, 64];
+
+/// Parses `FEWBINS_DP_GRID` (`"256,1024x4,16"`) into (sizes, ks); falls
+/// back to the full tracked grid when unset or malformed (a malformed
+/// grid warns rather than silently re-baselining the wrong cells).
+fn grid() -> (Vec<usize>, Vec<usize>) {
+    let full = || (SIZES.to_vec(), KS.to_vec());
+    let Ok(spec) = std::env::var("FEWBINS_DP_GRID") else {
+        return full();
+    };
+    let parse_list = |s: &str| -> Option<Vec<usize>> {
+        let v: Result<Vec<usize>, _> = s.split(',').map(|t| t.trim().parse()).collect();
+        v.ok().filter(|v| !v.is_empty())
+    };
+    match spec
+        .split_once('x')
+        .and_then(|(bs, ks)| Some((parse_list(bs)?, parse_list(ks)?)))
+    {
+        Some(g) => g,
+        None => {
+            eprintln!("exp_dp_scaling: ignoring malformed FEWBINS_DP_GRID={spec:?}");
+            full()
+        }
+    }
+}
 
 fn reference_feasible(b: usize, k: usize) -> bool {
     b < 4096 || (b == 4096 && k <= 16)
@@ -44,15 +76,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
 
+    let (sizes, ks) = grid();
     let mut cells = Vec::new();
     println!("dp_scaling: stair+noise instance, best of {reps} reps, times in ms");
     println!(
         "{:>7} {:>4} {:>12} {:>12} {:>12} {:>9}",
         "B", "k", "fit_ms", "cost_ms", "ref_ms", "speedup"
     );
-    for &b in &SIZES {
+    for &b in &sizes {
         let blocks: Vec<Block> = dp_bench_blocks(b);
-        for &k in &KS {
+        for &k in &ks {
             let (fit_ms, fit_cost) = time_ms(reps, || best_kpiece_fit(&blocks, k).unwrap().l1_cost);
             let (cost_ms, cost_only) = time_ms(reps, || best_kpiece_fit_cost(&blocks, k).unwrap());
             assert!(
@@ -104,9 +137,15 @@ fn main() {
         "cells": cells,
     });
     // CARGO_MANIFEST_DIR = crates/bench; the tracked baseline lives at the
-    // repo root, two levels up.
-    let raw = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = raw.canonicalize().unwrap_or(raw).join("BENCH_dp.json");
+    // repo root, two levels up. FEWBINS_DP_OUT redirects the artifact so
+    // gate re-runs don't clobber the baseline.
+    let path = match std::env::var("FEWBINS_DP_OUT") {
+        Ok(out) if !out.is_empty() => PathBuf::from(out),
+        _ => {
+            let raw = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+            raw.canonicalize().unwrap_or(raw).join("BENCH_dp.json")
+        }
+    };
     match std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap()) {
         Ok(()) => println!("[artifact] {}", path.display()),
         Err(e) => eprintln!("[artifact] write failed: {e}"),

@@ -1,0 +1,154 @@
+//! T13 — Per-stage sample attribution vs the Theorem 1.1 terms.
+//!
+//! Runs the full tester on staircase instances over a grid of `(n, k)`,
+//! with every trial's oracle wrapped in a `ScopedOracle`, and tabulates
+//! the measured per-stage sample ledger next to the term of Theorem 1.1
+//! that stage is supposed to pay:
+//!
+//! - `approx_part` + `adk_test`  vs  `√n/ε²·log k`
+//! - `sieve`                     vs  `k/ε³·log²k`
+//! - `learner`                   vs  `k/ε·log(k/ε)`
+//! - `check`                     vs  0 (offline DP — must draw nothing)
+//!
+//! Shape expectation: the `adk+approx` and `learner` ratios stay within a
+//! modest constant band across the grid (those stages pay their terms
+//! with the right `(n, k)` dependence); the sieve — which in the
+//! practical preset draws full-domain Poissonized counts per round —
+//! tracks the `√n` term rather than the worst-case `k/ε³` term at these
+//! small `k` (flat `sieve/T_adk` column); and the `check` column is
+//! exactly zero. The ledger invariant (stage totals + unattributed ==
+//! total draws) is asserted on every cell.
+
+use histo_bench::{emit, fmt, seed, threads, trials};
+use histo_experiments::acceptance::FixedInstance;
+use histo_experiments::theory;
+use histo_experiments::{estimate_acceptance_staged, ExperimentReport, Table};
+use histo_sampling::generators::staircase;
+use histo_testers::histogram_tester::HistogramTester;
+use histo_trace::Stage;
+
+fn main() {
+    let epsilon = 0.3;
+    let grid: [(usize, usize); 4] = [(1_000, 2), (4_000, 2), (1_000, 4), (4_000, 4)];
+    let tester = HistogramTester::practical();
+
+    let mut report = ExperimentReport::new(
+        "T13",
+        "per-stage sample ledger vs Theorem 1.1 terms",
+        "Theorem 1.1: each stage of Algorithm 1 pays its own term of \
+         O(sqrt(n)/eps^2 log k + k/eps^3 log^2 k + k/eps log(k/eps))",
+        seed(),
+    );
+    report
+        .param("epsilon", epsilon)
+        .param("trials per cell", trials())
+        .param("instance", "staircase(n, k) (completeness side)");
+
+    let mut ledger_table = Table::new(
+        "mean samples per trial by stage",
+        &[
+            "n", "k", "total", "approx", "learner", "sieve", "check", "adk", "unattr",
+        ],
+    );
+    let mut ratio_table = Table::new(
+        "measured / theory-term ratios (leading constants)",
+        &[
+            "n",
+            "k",
+            "adk+approx/T_adk",
+            "sieve/T_sieve",
+            "sieve/T_adk",
+            "learner/T_lrn",
+        ],
+    );
+
+    let mut adk_ratios = vec![];
+    let mut sieve_ratios = vec![];
+    let mut sieve_adk_ratios = vec![];
+    let mut learner_ratios = vec![];
+    let mut check_draws = 0u64;
+    for &(n, k) in &grid {
+        let d = staircase(n, k).unwrap().to_distribution().unwrap();
+        let staged = estimate_acceptance_staged(
+            &tester,
+            &FixedInstance(d),
+            k,
+            epsilon,
+            trials(),
+            seed() ^ ((n as u64) << 8) ^ k as u64,
+            threads(),
+        );
+        // The ledger invariant, aggregated over the cell's trials.
+        let total_drawn = staged.estimate.samples.mean() * staged.estimate.trials as f64;
+        assert_eq!(
+            staged.total_samples() as f64,
+            total_drawn,
+            "ledger must sum to total draws at n={n} k={k}"
+        );
+        let per = |s: Stage| staged.mean_stage_samples(s);
+        check_draws += staged
+            .stages
+            .iter()
+            .find(|&&(s, _)| s == Stage::Check)
+            .map_or(0, |&(_, c)| c);
+        ledger_table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt(staged.estimate.samples.mean()),
+            fmt(per(Stage::ApproxPart)),
+            fmt(per(Stage::Learner)),
+            fmt(per(Stage::Sieve)),
+            fmt(per(Stage::Check)),
+            fmt(per(Stage::AdkTest)),
+            fmt(staged.unattributed as f64 / staged.estimate.trials as f64),
+        ]);
+        let r_adk =
+            (per(Stage::ApproxPart) + per(Stage::AdkTest)) / theory::term_adk(n, k, epsilon);
+        let r_sieve = per(Stage::Sieve) / theory::term_sieve(k, epsilon);
+        let r_sieve_adk = per(Stage::Sieve) / theory::term_adk(n, k, epsilon);
+        let r_learner = per(Stage::Learner) / theory::term_learner(k, epsilon);
+        adk_ratios.push(r_adk);
+        sieve_ratios.push(r_sieve);
+        sieve_adk_ratios.push(r_sieve_adk);
+        learner_ratios.push(r_learner);
+        ratio_table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt(r_adk),
+            fmt(r_sieve),
+            fmt(r_sieve_adk),
+            fmt(r_learner),
+        ]);
+    }
+    report.table(ledger_table);
+    report.table(ratio_table);
+
+    let spread = |rs: &[f64]| {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for &r in rs {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        hi / lo.max(f64::MIN_POSITIVE)
+    };
+    report.note(format!(
+        "ratio spread (max/min across grid): adk+approx {:.2}, sieve/T_sieve {:.2}, \
+         sieve/T_adk {:.2}, learner {:.2} — a flat ratio (spread near 1) means the \
+         measured cost tracks that term's (n, k) shape",
+        spread(&adk_ratios),
+        spread(&sieve_ratios),
+        spread(&sieve_adk_ratios),
+        spread(&learner_ratios),
+    ));
+    report.note(
+        "the practical preset's sieve draws full-domain Poissonized counts per round, so \
+         its measured cost tracks the sqrt(n)/eps^2 log k term (flat sieve/T_adk), not \
+         the worst-case k/eps^3 log^2 k sieve term — the k-dependent term only binds \
+         when k^2/eps^2 >> sqrt(n) (Theorem 1.1's second regime)",
+    );
+    report.note(format!(
+        "check stage drew {check_draws} samples (must be 0: the H_k check is an offline DP)"
+    ));
+    assert_eq!(check_draws, 0, "check stage must not draw samples");
+    emit(&report);
+}

@@ -583,7 +583,18 @@ const PAR_MIN_SPAN: usize = 2048;
 /// worker.
 const PAR_LEAF_SPAN: usize = 512;
 
+/// Worker count for the parallel DP layers: `FEWBINS_THREADS` if set (and
+/// parseable, clamped to at least 1), else available parallelism, capped
+/// at 8. The env knob exists so experiments and the trace-determinism
+/// suite can pin the thread count; the DP's layer results are bitwise
+/// identical for any value.
 fn dp_threads() -> usize {
+    if let Some(t) = std::env::var("FEWBINS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return t.max(1);
+    }
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)

@@ -1,9 +1,10 @@
 //! Acceptance-probability estimation with confidence intervals.
 
 use histo_core::Distribution;
-use histo_sampling::{DistOracle, SampleOracle};
+use histo_sampling::{DistOracle, SampleOracle, ScopedOracle};
 use histo_stats::{RunningStats, WilsonInterval};
 use histo_testers::Tester;
+use histo_trace::{NullSink, Stage};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -126,6 +127,147 @@ pub fn estimate_acceptance(
     }
 }
 
+/// [`AcceptanceEstimate`] plus the per-stage sample ledger aggregated
+/// across all trials, as measured by wrapping each trial's oracle in a
+/// [`ScopedOracle`].
+#[derive(Debug, Clone)]
+pub struct StagedAcceptance {
+    /// The acceptance estimate (identical to what
+    /// [`estimate_acceptance`] would report for the same inputs —
+    /// the tracing wrapper does not perturb the RNG stream).
+    pub estimate: AcceptanceEstimate,
+    /// Total draws charged to each stage, summed over all trials, in
+    /// canonical pipeline order.
+    pub stages: Vec<(Stage, u64)>,
+    /// Draws made while no stage span was open, summed over all trials.
+    pub unattributed: u64,
+}
+
+impl StagedAcceptance {
+    /// Sum of all per-stage totals plus the unattributed bucket — equals
+    /// the total draws across all trials (the ledger invariant).
+    pub fn total_samples(&self) -> u64 {
+        self.stages.iter().map(|&(_, n)| n).sum::<u64>() + self.unattributed
+    }
+
+    /// Mean draws per trial charged to `stage`.
+    pub fn mean_stage_samples(&self, stage: Stage) -> f64 {
+        let total = self
+            .stages
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map_or(0, |&(_, n)| n);
+        total as f64 / self.estimate.trials.max(1) as f64
+    }
+}
+
+/// Canonical presentation order for aggregated stages: the order
+/// Algorithm 1 visits them, satellites after, ad-hoc stages last.
+fn stage_rank(stage: Stage) -> (u8, &'static str) {
+    match stage {
+        Stage::ApproxPart => (0, ""),
+        Stage::Learner => (1, ""),
+        Stage::Sieve => (2, ""),
+        Stage::Check => (3, ""),
+        Stage::AdkTest => (4, ""),
+        Stage::Uniformity => (5, ""),
+        Stage::ModelSelection => (6, ""),
+        Stage::Other(name) => (7, name),
+    }
+}
+
+/// [`estimate_acceptance`] with per-stage sample accounting: each trial's
+/// oracle is wrapped in a [`ScopedOracle`] (with a [`NullSink`], so no
+/// events are rendered) and the per-trial ledgers are summed.
+///
+/// Stage totals are `u64` sums, so like the base estimator the result is
+/// bitwise independent of the thread count. The wrapper forwards draws
+/// without touching the RNG, so `estimate` matches what
+/// [`estimate_acceptance`] reports for the same `(tester, ensemble, seed)`.
+///
+/// # Panics
+///
+/// Panics if the tester returns a parameter error (see
+/// [`estimate_acceptance`]).
+pub fn estimate_acceptance_staged(
+    tester: &(dyn Tester + Sync),
+    ensemble: &dyn InstanceEnsemble,
+    k: usize,
+    epsilon: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> StagedAcceptance {
+    let threads = if threads == 0 {
+        crate::num_threads()
+    } else {
+        threads
+    };
+    type Acc = (u64, RunningStats, Vec<(Stage, u64)>, u64);
+    let results = parking_lot::Mutex::new((0u64, RunningStats::new(), Vec::new(), 0u64));
+    let next = std::sync::atomic::AtomicU64::new(0);
+
+    let merge_stages = |into: &mut Vec<(Stage, u64)>, from: &[(Stage, u64)]| {
+        for &(stage, n) in from {
+            if let Some(entry) = into.iter_mut().find(|(s, _)| *s == stage) {
+                entry.1 += n;
+            } else {
+                into.push((stage, n));
+            }
+        }
+    };
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local: Acc = (0, RunningStats::new(), Vec::new(), 0);
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i,
+                    );
+                    let d = ensemble.draw(&mut rng);
+                    let mut inner = DistOracle::new(d).with_fast_poissonization();
+                    let mut oracle = ScopedOracle::new(&mut inner, Box::new(NullSink));
+                    let decision = tester
+                        .test(&mut oracle, k, epsilon, &mut rng)
+                        .expect("experiment parameters must be valid");
+                    let drawn = oracle.samples_drawn();
+                    let ledger = oracle.finish();
+                    if decision.accepted() {
+                        local.0 += 1;
+                    }
+                    local.1.push(drawn as f64);
+                    merge_stages(&mut local.2, ledger.entries());
+                    local.3 += ledger.unattributed();
+                }
+                let mut guard = results.lock();
+                guard.0 += local.0;
+                guard.1.merge(&local.1);
+                merge_stages(&mut guard.2, &local.2);
+                guard.3 += local.3;
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    let (accepts, samples, mut stages, unattributed) = results.into_inner();
+    stages.sort_by_key(|&(s, _)| stage_rank(s));
+    StagedAcceptance {
+        estimate: AcceptanceEstimate {
+            accepts,
+            trials,
+            ci: WilsonInterval::ci95(accepts, trials),
+            samples,
+        },
+        stages,
+        unattributed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +300,49 @@ mod tests {
         let t = HistogramTester::practical();
         let a = estimate_acceptance(&t, &ens, 3, 0.4, 10, 11, 4);
         assert!(a.rate() >= 0.6, "rate {}", a.rate());
+    }
+
+    #[test]
+    fn staged_estimate_matches_unstaged_and_partitions_samples() {
+        let d = staircase(300, 2).unwrap().to_distribution().unwrap();
+        let t = HistogramTester::practical();
+        let plain = estimate_acceptance(&t, &FixedInstance(d.clone()), 2, 0.35, 8, 13, 2);
+        let staged = estimate_acceptance_staged(&t, &FixedInstance(d), 2, 0.35, 8, 13, 2);
+        // The tracing wrapper must not perturb the trials.
+        assert_eq!(staged.estimate.accepts, plain.accepts);
+        assert_eq!(staged.estimate.samples.mean(), plain.samples.mean());
+        // Ledger invariant, aggregated: stage totals + unattributed ==
+        // total draws over all trials.
+        let total_drawn = staged.estimate.samples.mean() * staged.estimate.trials as f64;
+        assert_eq!(staged.total_samples() as f64, total_drawn);
+        assert_eq!(staged.unattributed, 0);
+        // The pipeline stages all drew something, in canonical order.
+        let names: Vec<&str> = staged.stages.iter().map(|(s, _)| s.name()).collect();
+        assert!(names.contains(&"approx_part"), "{names:?}");
+        assert!(names.contains(&"learner"), "{names:?}");
+        assert!(names.contains(&"sieve"), "{names:?}");
+        let mut sorted = names.clone();
+        sorted.sort_by_key(|n| match *n {
+            "approx_part" => 0,
+            "learner" => 1,
+            "sieve" => 2,
+            "check" => 3,
+            "adk_test" => 4,
+            _ => 9,
+        });
+        assert_eq!(names, sorted);
+        assert!(staged.mean_stage_samples(Stage::Sieve) > 0.0);
+    }
+
+    #[test]
+    fn staged_estimate_is_thread_count_independent() {
+        let d = staircase(300, 2).unwrap().to_distribution().unwrap();
+        let t = HistogramTester::practical();
+        let a = estimate_acceptance_staged(&t, &FixedInstance(d.clone()), 2, 0.35, 8, 13, 1);
+        let b = estimate_acceptance_staged(&t, &FixedInstance(d), 2, 0.35, 8, 13, 4);
+        assert_eq!(a.estimate.accepts, b.estimate.accepts);
+        assert_eq!(a.stages, b.stages);
+        assert_eq!(a.unattributed, b.unattributed);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   binaries' stdout so EXPERIMENTS.md is regenerable).
 //! - [`fitting`]: log–log slope fits used to verify scaling exponents
 //!   (√n ⇒ slope ≈ 0.5, linear in k ⇒ slope ≈ 1).
+//! - [`theory`]: the Theorem 1.1 sample-complexity terms
+//!   (`√n/ε²·log k`, `k/ε³·log²k`, `k/ε·log(k/ε)`), against which the
+//!   per-stage ledger from [`acceptance::estimate_acceptance_staged`] is
+//!   compared in `exp_stage_budget`.
 //!
 //! Every run is driven by an explicit seed; all parallelism derives
 //! per-trial RNGs deterministically from it.
@@ -23,6 +27,7 @@ pub mod acceptance;
 pub mod complexity;
 pub mod fitting;
 pub mod report;
+pub mod theory;
 
 /// Worker-thread count for parallel trial estimation: one per available
 /// core (1 if the platform cannot report parallelism). Used whenever a
@@ -34,6 +39,9 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-pub use acceptance::{estimate_acceptance, AcceptanceEstimate, InstanceEnsemble};
+pub use acceptance::{
+    estimate_acceptance, estimate_acceptance_staged, AcceptanceEstimate, InstanceEnsemble,
+    StagedAcceptance,
+};
 pub use complexity::{minimal_budget, BudgetSearch, InstancePair};
 pub use report::{ExperimentReport, Table};

@@ -12,7 +12,10 @@
 //!   distribution-backed oracle implements the Poissonized fast path
 //!   (per-bin `N_i ~ Poisson(m·D(i))`), distributionally identical to
 //!   drawing `Poisson(m)` literal samples (Section 2 of the paper) — both
-//!   paths are provided and tested for agreement.
+//!   paths are provided and tested for agreement. [`oracle::ScopedOracle`]
+//!   layers a `histo-trace` tracer on any oracle, charging every draw to
+//!   the currently open pipeline stage so the per-stage sample ledger
+//!   partitions the total draw count exactly.
 //! - [`generators`]: workload distributions — random k-histograms,
 //!   staircases, Zipf-like laws, mixtures, and certified ε-far sawtooth
 //!   perturbations of k-histograms (the completeness/soundness instances of
@@ -31,4 +34,4 @@ pub mod oracle;
 pub mod permutation;
 
 pub use alias::AliasSampler;
-pub use oracle::{DistOracle, SampleOracle};
+pub use oracle::{DistOracle, SampleOracle, ScopedOracle};

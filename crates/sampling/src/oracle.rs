@@ -16,6 +16,7 @@ use crate::alias::AliasSampler;
 use histo_core::empirical::SampleCounts;
 use histo_core::Distribution;
 use histo_stats::Poisson;
+use histo_trace::{SampleLedger, Stage, TraceSink, Tracer, Value};
 use rand::RngCore;
 
 /// Black-box sample access to an unknown distribution over `\[n\]`, with
@@ -44,6 +45,116 @@ pub trait SampleOracle {
     fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
         let m_prime = Poisson::new(m).sample(rng);
         self.draw_counts(m_prime, rng)
+    }
+
+    /// The [`Tracer`] charging this oracle's draws to pipeline stages, if
+    /// one is attached. Plain oracles return `None` (the default), which
+    /// makes every `trace_*` helper below a no-op — tracing costs nothing
+    /// unless a [`ScopedOracle`] wraps the oracle.
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        None
+    }
+
+    /// Opens a stage span on the attached tracer (no-op without one).
+    fn trace_enter(&mut self, stage: Stage) {
+        if let Some(t) = self.tracer() {
+            t.enter(stage);
+        }
+    }
+
+    /// Closes the innermost stage span (no-op without a tracer).
+    fn trace_exit(&mut self) {
+        if let Some(t) = self.tracer() {
+            t.exit();
+        }
+    }
+
+    /// Emits a named counter on the attached tracer (no-op without one).
+    fn trace_counter(&mut self, name: &'static str, value: Value) {
+        if let Some(t) = self.tracer() {
+            t.counter(name, value);
+        }
+    }
+}
+
+/// Wraps an oracle with a [`Tracer`]: every draw made through the wrapper
+/// is charged to the currently open stage, so the tracer's
+/// [`SampleLedger`] partitions the wrapper's draw count exactly.
+///
+/// Charging is *delta-based*: each forwarded call reads the inner
+/// oracle's [`SampleOracle::samples_drawn`] before and after and charges
+/// the difference. That makes the ledger invariant hold no matter how an
+/// oracle implements its batch methods — a [`DistOracle`] with the
+/// per-bin Poissonization fast path and a literal-draw oracle charge
+/// identically — and guarantees no draw is ever double-counted (batch
+/// methods are forwarded to the inner oracle, never re-implemented in
+/// terms of traced `draw` calls).
+pub struct ScopedOracle<'a> {
+    inner: &'a mut dyn SampleOracle,
+    tracer: Tracer,
+}
+
+impl<'a> ScopedOracle<'a> {
+    /// Wraps `inner`, emitting trace events into `sink` (timing on).
+    pub fn new(inner: &'a mut dyn SampleOracle, sink: Box<dyn TraceSink>) -> Self {
+        Self::with_tracer(inner, Tracer::new(sink))
+    }
+
+    /// Wraps `inner` with a pre-configured tracer (e.g. one built with
+    /// [`Tracer::without_timing`] for byte-deterministic streams).
+    pub fn with_tracer(inner: &'a mut dyn SampleOracle, tracer: Tracer) -> Self {
+        Self { inner, tracer }
+    }
+
+    /// Read access to the ledger accumulated so far.
+    pub fn ledger(&self) -> &SampleLedger {
+        self.tracer.ledger()
+    }
+
+    /// Finishes the tracer (emits the ledger summary, flushes the sink)
+    /// and returns the ledger.
+    pub fn finish(self) -> SampleLedger {
+        self.tracer.finish()
+    }
+
+    fn charge_delta(&mut self, before: u64) {
+        let delta = self.inner.samples_drawn().saturating_sub(before);
+        self.tracer.charge(delta);
+    }
+}
+
+impl SampleOracle for ScopedOracle<'_> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        let before = self.inner.samples_drawn();
+        let x = self.inner.draw(rng);
+        self.charge_delta(before);
+        x
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.inner.samples_drawn()
+    }
+
+    fn draw_counts(&mut self, m: u64, rng: &mut dyn RngCore) -> SampleCounts {
+        let before = self.inner.samples_drawn();
+        let counts = self.inner.draw_counts(m, rng);
+        self.charge_delta(before);
+        counts
+    }
+
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        let before = self.inner.samples_drawn();
+        let counts = self.inner.poissonized_counts(m, rng);
+        self.charge_delta(before);
+        counts
+    }
+
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        Some(&mut self.tracer)
     }
 }
 
@@ -202,6 +313,72 @@ mod tests {
         ] {
             assert!((got - want).abs() < tol, "got {got}, want ~{want}");
         }
+    }
+
+    #[test]
+    fn scoped_oracle_ledger_partitions_samples_drawn() {
+        let mut inner = DistOracle::new(d(&[0.25; 4])).with_fast_poissonization();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut o = ScopedOracle::new(&mut inner, Box::new(histo_trace::NullSink));
+        o.trace_enter(Stage::ApproxPart);
+        o.draw_counts(100, &mut rng);
+        o.trace_exit();
+        o.trace_enter(Stage::Sieve);
+        o.poissonized_counts(50.0, &mut rng);
+        o.trace_enter(Stage::AdkTest);
+        o.draw(&mut rng);
+        o.trace_exit();
+        o.trace_exit();
+        o.draw(&mut rng); // unattributed
+        let total = o.samples_drawn();
+        let ledger = o.finish();
+        assert_eq!(ledger.total(), total);
+        assert_eq!(ledger.stage_total(Stage::ApproxPart), 100);
+        assert_eq!(ledger.stage_total(Stage::AdkTest), 1);
+        assert_eq!(ledger.unattributed(), 1);
+        let sum: u64 = ledger.entries().iter().map(|(_, s)| s).sum();
+        assert_eq!(sum + ledger.unattributed(), total);
+        assert_eq!(inner.samples_drawn(), total);
+    }
+
+    #[test]
+    fn scoped_oracle_batches_charge_once() {
+        // The batch methods forward to the inner oracle and charge the
+        // delta exactly once — never once per constituent draw as well.
+        let mut inner = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut o = ScopedOracle::new(&mut inner, Box::new(histo_trace::NullSink));
+        o.trace_enter(Stage::Learner);
+        let c = o.draw_counts(37, &mut rng);
+        o.trace_exit();
+        assert_eq!(c.total(), 37);
+        let ledger = o.finish();
+        assert_eq!(ledger.stage_total(Stage::Learner), 37);
+        assert_eq!(ledger.total(), 37);
+    }
+
+    #[test]
+    fn scoped_oracle_preserves_inner_stream() {
+        // Wrapping must not perturb the sample stream: the same rng seed
+        // produces identical draws with and without the wrapper.
+        let mut rng1 = StdRng::seed_from_u64(17);
+        let mut plain = DistOracle::new(d(&[0.3, 0.3, 0.4]));
+        let direct: Vec<usize> = (0..20).map(|_| plain.draw(&mut rng1)).collect();
+
+        let mut rng2 = StdRng::seed_from_u64(17);
+        let mut inner = DistOracle::new(d(&[0.3, 0.3, 0.4]));
+        let mut o = ScopedOracle::new(&mut inner, Box::new(histo_trace::NullSink));
+        let wrapped: Vec<usize> = (0..20).map(|_| o.draw(&mut rng2)).collect();
+        assert_eq!(direct, wrapped);
+    }
+
+    #[test]
+    fn trace_helpers_are_noops_without_tracer() {
+        let mut o = DistOracle::new(d(&[0.5, 0.5]));
+        assert!(o.tracer().is_none());
+        o.trace_enter(Stage::Sieve);
+        o.trace_counter("x", Value::U64(1));
+        o.trace_exit(); // must not panic despite no matching tracer state
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::Decision;
 use histo_core::empirical::SampleCounts;
 use histo_core::{Distribution, HistoError, KHistogram};
 use histo_sampling::oracle::SampleOracle;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// The per-interval and total χ² statistics computed from one Poissonized
@@ -235,6 +236,7 @@ impl ChiSquareTest {
 
     /// Draws one Poissonized batch and returns the decision.
     pub fn run(&self, oracle: &mut dyn SampleOracle, rng: &mut dyn RngCore) -> Decision {
+        oracle.trace_enter(Stage::AdkTest);
         let counts = oracle.poissonized_counts(self.m, rng);
         let z = z_statistics(
             &counts,
@@ -244,6 +246,9 @@ impl ChiSquareTest {
             self.aeps_cutoff,
         )
         .expect("parameters validated at construction");
+        oracle.trace_counter("z_total", Value::F64(z.total));
+        oracle.trace_counter("threshold", Value::F64(self.threshold()));
+        oracle.trace_exit();
         if z.total <= self.threshold() {
             Decision::Accept
         } else {
@@ -261,6 +266,7 @@ impl ChiSquareTest {
         rng: &mut dyn RngCore,
     ) -> Decision {
         let reps = reps.max(1);
+        oracle.trace_enter(Stage::AdkTest);
         let totals: Vec<f64> = (0..reps)
             .map(|_| {
                 let counts = oracle.poissonized_counts(self.m, rng);
@@ -275,7 +281,12 @@ impl ChiSquareTest {
                 .total
             })
             .collect();
-        if histo_stats::median(&totals) <= self.threshold() {
+        let z_median = histo_stats::median(&totals);
+        oracle.trace_counter("reps", Value::U64(reps as u64));
+        oracle.trace_counter("z_total", Value::F64(z_median));
+        oracle.trace_counter("threshold", Value::F64(self.threshold()));
+        oracle.trace_exit();
+        if z_median <= self.threshold() {
             Decision::Accept
         } else {
             Decision::Reject

@@ -20,6 +20,7 @@
 use histo_core::empirical::SampleCounts;
 use histo_core::{HistoError, Partition};
 use histo_sampling::oracle::SampleOracle;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Result of ApproxPart: the partition plus diagnostics.
@@ -64,8 +65,14 @@ pub fn approx_part(
         });
     }
     let n = oracle.n();
+    oracle.trace_enter(Stage::ApproxPart);
     let counts: SampleCounts = oracle.draw_counts(samples, rng);
-    Ok(partition_from_counts(n, &counts, b))
+    let out = partition_from_counts(n, &counts, b);
+    oracle.trace_counter("b", Value::F64(b));
+    oracle.trace_counter("partition_size", Value::U64(out.partition.len() as u64));
+    oracle.trace_counter("singletons", Value::U64(out.singleton_indices.len() as u64));
+    oracle.trace_exit();
+    Ok(out)
 }
 
 /// The deterministic partitioning rule, exposed separately so tests can

@@ -21,6 +21,7 @@ use crate::{validate_params, Decision, Tester};
 use histo_core::dp::check_close_to_hk;
 use histo_core::KHistogram;
 use histo_sampling::oracle::SampleOracle;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Stage toggles for ablation studies (experiment A1): disabling a stage
@@ -145,6 +146,8 @@ impl HistogramTester {
             }
         };
         if sieve_out.rejected {
+            oracle.trace_counter("decided_by", Value::Str("sieve"));
+            oracle.trace_counter("accepted", Value::Bool(false));
             return Ok(TesterTrace {
                 decision: Decision::Reject,
                 decided_by: "sieve",
@@ -156,14 +159,26 @@ impl HistogramTester {
         }
         let surviving = sieve_out.surviving(partition_size);
 
-        // Step 10: Check — some D* ∈ H_k must be close to D̂ on G.
+        // Step 10: Check — some D* ∈ H_k must be close to D̂ on G. Draws
+        // no samples, but runs inside a span so the trace carries its
+        // wall time alongside the sampling stages.
         let mut counted = vec![false; partition_size];
         for &j in &surviving {
             counted[j] = true;
         }
-        let check_ok = !self.ablation.check
-            || check_close_to_hk(&d_hat, &counted, k, epsilon / cfg.check_divisor)?;
-        if !check_ok {
+        oracle.trace_enter(Stage::Check);
+        let check_res = if self.ablation.check {
+            check_close_to_hk(&d_hat, &counted, k, epsilon / cfg.check_divisor)
+        } else {
+            Ok(true)
+        };
+        if let Ok(ok) = &check_res {
+            oracle.trace_counter("check_ok", Value::Bool(*ok));
+        }
+        oracle.trace_exit();
+        if !check_res? {
+            oracle.trace_counter("decided_by", Value::Str("check"));
+            oracle.trace_counter("accepted", Value::Bool(false));
             return Ok(TesterTrace {
                 decision: Decision::Reject,
                 decided_by: "check",
@@ -182,6 +197,15 @@ impl HistogramTester {
         }
         let chi2 = ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)?;
         let decision = chi2.run(oracle, rng);
+        oracle.trace_counter(
+            "decided_by",
+            Value::Str(if decision.accepted() {
+                "accept"
+            } else {
+                "chi2"
+            }),
+        );
+        oracle.trace_counter("accepted", Value::Bool(decision.accepted()));
         Ok(TesterTrace {
             decided_by: if decision.accepted() {
                 "accept"
@@ -301,6 +325,59 @@ mod tests {
         assert!(trace.partition_size >= 1);
         assert!(["sieve", "check", "chi2", "accept"].contains(&trace.decided_by));
         assert!(trace.hypothesis.is_some());
+    }
+
+    #[test]
+    fn scoped_run_ledger_sums_to_samples_drawn() {
+        use histo_sampling::ScopedOracle;
+        use histo_trace::{MemorySink, Stage, TraceEvent, Tracer};
+
+        let d = Distribution::uniform(300).unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(97);
+        let mut inner = DistOracle::new(d).with_fast_poissonization();
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut o =
+            ScopedOracle::with_tracer(&mut inner, Tracer::new(Box::new(sink)).without_timing());
+        let trace = tester.test_traced(&mut o, 2, 0.4, &mut rng).unwrap();
+        let total = o.samples_drawn();
+        let ledger = o.finish();
+
+        // The defining invariant: the per-stage ledger partitions the
+        // oracle's total draw count, with nothing unattributed — every
+        // draw of Algorithm 1 happens inside a stage span.
+        assert_eq!(ledger.total(), total);
+        assert_eq!(trace.samples_used, total);
+        assert_eq!(ledger.unattributed(), 0);
+        let sum: u64 = ledger.entries().iter().map(|(_, s)| s).sum();
+        assert_eq!(sum, total);
+        assert!(ledger.stage_total(Stage::ApproxPart) > 0);
+        assert!(ledger.stage_total(Stage::Learner) > 0);
+        assert!(ledger.stage_total(Stage::Sieve) > 0);
+
+        // The emitted stream agrees with the ledger and is span-balanced.
+        let events = handle.events();
+        let from_exits: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StageExit { samples, .. } => Some(*samples),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(from_exits, total);
+        let mut depth = 0i64;
+        for e in &events {
+            match e {
+                TraceEvent::StageEnter { .. } => depth += 1,
+                TraceEvent::StageExit { .. } => {
+                    depth -= 1;
+                    assert!(depth >= 0, "exit without matching enter");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced spans in emitted stream");
     }
 
     #[test]

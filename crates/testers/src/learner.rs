@@ -17,6 +17,7 @@
 
 use histo_core::{HistoError, KHistogram, Partition};
 use histo_sampling::oracle::SampleOracle;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Runs the Laplace learner over `partition` with `m` samples, returning
@@ -44,9 +45,15 @@ pub fn learn(
             right: partition.n(),
         });
     }
+    oracle.trace_enter(Stage::Learner);
     let counts = oracle.draw_counts(m, rng);
-    let interval_counts = counts.interval_counts(partition)?;
-    hypothesis_from_interval_counts(partition, &interval_counts, m)
+    let hypothesis = counts
+        .interval_counts(partition)
+        .and_then(|ic| hypothesis_from_interval_counts(partition, &ic, m));
+    oracle.trace_counter("m", Value::U64(m));
+    oracle.trace_counter("intervals", Value::U64(partition.len() as u64));
+    oracle.trace_exit();
+    hypothesis
 }
 
 /// The deterministic estimator given interval counts — exposed so tests

@@ -17,6 +17,7 @@
 use crate::{Decision, Tester};
 use histo_sampling::oracle::SampleOracle;
 use histo_stats::majority_vote;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Result of the doubling search.
@@ -39,6 +40,28 @@ pub struct ModelSelection {
 ///
 /// Propagates tester parameter errors.
 pub fn doubling_search(
+    tester: &dyn Tester,
+    oracle: &mut dyn SampleOracle,
+    epsilon: f64,
+    max_k: usize,
+    votes: usize,
+    refine: bool,
+    rng: &mut dyn RngCore,
+) -> histo_core::Result<ModelSelection> {
+    oracle.trace_enter(Stage::ModelSelection);
+    let result = doubling_search_inner(tester, oracle, epsilon, max_k, votes, refine, rng);
+    if let Ok(sel) = &result {
+        match sel.selected_k {
+            Some(k) => oracle.trace_counter("selected_k", Value::U64(k as u64)),
+            None => oracle.trace_counter("selected_k", Value::Str("none")),
+        }
+        oracle.trace_counter("candidates_tried", Value::U64(sel.trials.len() as u64));
+    }
+    oracle.trace_exit();
+    result
+}
+
+fn doubling_search_inner(
     tester: &dyn Tester,
     oracle: &mut dyn SampleOracle,
     epsilon: f64,

@@ -26,6 +26,7 @@ use crate::config::TesterConfig;
 use histo_core::{HistoError, KHistogram};
 use histo_sampling::oracle::SampleOracle;
 use histo_stats::{median, repetitions_for_confidence};
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Outcome of the sieving stage.
@@ -84,10 +85,42 @@ fn amplified_z(
 /// Runs the sieving stage against hypothesis `hyp` for class parameter `k`
 /// at distance `epsilon`.
 ///
+/// Under a trace (see `histo_trace`), the whole stage runs inside a
+/// [`Stage::Sieve`] span; each round emits `round`, `round_z_total`,
+/// `round_removed`, `round_removed_weight` (hypothesis mass of the
+/// removed intervals — the paper's "bad weight" of §3.2.1), and
+/// `round_samples` counters, with the heavy round reported as `round` 0.
+///
 /// # Errors
 ///
 /// Propagates parameter-validation errors from the statistic computation.
 pub fn sieve(
+    oracle: &mut dyn SampleOracle,
+    hyp: &KHistogram,
+    k: usize,
+    epsilon: f64,
+    config: &TesterConfig,
+    rng: &mut dyn RngCore,
+) -> Result<SieveOutcome, HistoError> {
+    oracle.trace_enter(Stage::Sieve);
+    let out = sieve_inner(oracle, hyp, k, epsilon, config, rng);
+    if let Ok(o) = &out {
+        oracle.trace_counter("rejected", Value::Bool(o.rejected));
+        oracle.trace_counter("discarded_total", Value::U64(o.discarded.len() as u64));
+        oracle.trace_counter("rounds_used", Value::U64(o.rounds_used as u64));
+        oracle.trace_counter("early_accept", Value::Bool(o.early_accept));
+    }
+    oracle.trace_exit();
+    out
+}
+
+/// Hypothesis mass removed with the given interval indices — the sieve's
+/// per-round "bad weight" bookkeeping.
+fn removed_weight(hyp: &KHistogram, indices: &[usize]) -> f64 {
+    indices.iter().map(|&j| hyp.interval_mass(j)).sum()
+}
+
+fn sieve_inner(
     oracle: &mut dyn SampleOracle,
     hyp: &KHistogram,
     k: usize,
@@ -113,12 +146,24 @@ pub fn sieve(
     } else {
         1
     };
+    let heavy_start = oracle.samples_drawn();
     let z = amplified_z(oracle, hyp, &remaining, m, aeps_cutoff, heavy_reps, rng)?;
     let heavy: Vec<usize> = remaining
         .iter()
         .zip(&z)
         .filter_map(|(&j, &zj)| (zj > sc.heavy_threshold * unit).then_some(j))
         .collect();
+    oracle.trace_counter("round", Value::U64(0));
+    oracle.trace_counter("round_z_total", Value::F64(z.iter().sum()));
+    oracle.trace_counter("round_removed", Value::U64(heavy.len() as u64));
+    oracle.trace_counter(
+        "round_removed_weight",
+        Value::F64(removed_weight(hyp, &heavy)),
+    );
+    oracle.trace_counter(
+        "round_samples",
+        Value::U64(oracle.samples_drawn() - heavy_start),
+    );
     if heavy.len() > k {
         return Ok(SieveOutcome {
             rejected: true,
@@ -147,9 +192,18 @@ pub fn sieve(
             break;
         }
         rounds_used += 1;
+        let round_start = oracle.samples_drawn();
         let z = amplified_z(oracle, hyp, &remaining, m, aeps_cutoff, iter_reps, rng)?;
         let total: f64 = z.iter().sum();
+        oracle.trace_counter("round", Value::U64(rounds_used as u64));
+        oracle.trace_counter("round_z_total", Value::F64(total));
+        oracle.trace_counter(
+            "round_samples",
+            Value::U64(oracle.samples_drawn() - round_start),
+        );
         if total < sc.accept_threshold * unit {
+            oracle.trace_counter("round_removed", Value::U64(0));
+            oracle.trace_counter("round_removed_weight", Value::F64(0.0));
             early_accept = true;
             break;
         }
@@ -168,6 +222,11 @@ pub fn sieve(
         }
         let take = need.min(per_round_cap);
         let to_remove: Vec<usize> = order[..take].iter().map(|&pos| remaining[pos]).collect();
+        oracle.trace_counter("round_removed", Value::U64(to_remove.len() as u64));
+        oracle.trace_counter(
+            "round_removed_weight",
+            Value::F64(removed_weight(hyp, &to_remove)),
+        );
         discarded.extend(&to_remove);
         remaining.retain(|j| !to_remove.contains(j));
         if discarded.len() > total_budget {

@@ -14,6 +14,7 @@
 use crate::{validate_params, Decision, Tester};
 use histo_core::empirical::SampleCounts;
 use histo_sampling::oracle::SampleOracle;
+use histo_trace::{Stage, Value};
 use rand::RngCore;
 
 /// Collision-based uniformity tester with `m = ceil(sample_factor·√n/ε²)`
@@ -74,8 +75,13 @@ impl Tester for CollisionUniformityTester {
             });
         }
         let m = self.samples(oracle.n(), epsilon);
+        oracle.trace_enter(Stage::Uniformity);
         let counts = oracle.draw_counts(m, rng);
-        Ok(Self::decide(&counts, epsilon))
+        let decision = Self::decide(&counts, epsilon);
+        oracle.trace_counter("collisions", Value::U64(counts.collisions()));
+        oracle.trace_counter("accepted", Value::Bool(decision.accepted()));
+        oracle.trace_exit();
+        Ok(decision)
     }
 }
 

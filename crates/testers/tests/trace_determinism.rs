@@ -1,0 +1,110 @@
+//! Determinism suite: with a fixed seed, the full `HistogramTester`
+//! decision AND the emitted (timing-free) trace byte stream must be
+//! identical no matter how many worker threads the parallel DP layers
+//! use (`FEWBINS_THREADS ∈ {1, 2, 4}`).
+//!
+//! Everything runs inside a single `#[test]` so the `FEWBINS_THREADS`
+//! mutations cannot race with other tests in this binary.
+
+use histo_sampling::generators::staircase;
+use histo_sampling::{DistOracle, ScopedOracle};
+use histo_testers::histogram_tester::HistogramTester;
+use histo_testers::Tester;
+use histo_trace::{JsonlSink, SharedBuffer, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One full tester run on a fixed instance/seed, returning the decision,
+/// the per-run sample count, and the rendered trace bytes.
+fn run_once(accept_side: bool) -> (bool, u64, Vec<u8>) {
+    let d = if accept_side {
+        staircase(600, 3).unwrap().to_distribution().unwrap()
+    } else {
+        // A spiky non-histogram instance: exercises the sieve-removal and
+        // check paths of the trace too.
+        histo_core::Distribution::from_weights(
+            (0..600)
+                .map(|i| if i % 7 == 0 { 5.0 } else { 1.0 })
+                .collect(),
+        )
+        .unwrap()
+    };
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut inner = DistOracle::new(d).with_fast_poissonization();
+    let buf = SharedBuffer::new();
+    let tracer = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+    let mut oracle = ScopedOracle::with_tracer(&mut inner, tracer);
+    let tester = HistogramTester::practical();
+    let decision = tester.test(&mut oracle, 3, 0.3, &mut rng).unwrap();
+    let drawn = histo_sampling::SampleOracle::samples_drawn(&oracle);
+    let ledger = oracle.finish();
+    assert_eq!(ledger.total(), drawn, "ledger must sum to samples_drawn");
+    (decision.accepted(), drawn, buf.contents())
+}
+
+#[test]
+fn decision_and_trace_bytes_are_thread_count_invariant() {
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FEWBINS_THREADS", threads);
+        runs.push((threads, run_once(true), run_once(false)));
+    }
+    std::env::remove_var("FEWBINS_THREADS");
+
+    let (_, base_accept, base_reject) = &runs[0];
+    assert!(
+        !base_accept.2.is_empty() && !base_reject.2.is_empty(),
+        "traces must be non-empty"
+    );
+    for (threads, accept_run, reject_run) in &runs[1..] {
+        assert_eq!(
+            accept_run, base_accept,
+            "accept-side run diverged at FEWBINS_THREADS={threads}"
+        );
+        assert_eq!(
+            reject_run, base_reject,
+            "reject-side run diverged at FEWBINS_THREADS={threads}"
+        );
+    }
+    // The two sides genuinely exercise different paths.
+    assert!(base_accept.0, "staircase(600, 3) should be accepted");
+    assert!(!base_reject.0, "the spiky instance should be rejected");
+
+    // The tester runs above stay below the DP's parallelism threshold
+    // (layers only spawn workers past 2048 blocks), so also pin the DP
+    // itself on an instance large enough to actually fan out.
+    let blocks: Vec<histo_core::dp::Block> = {
+        let mut x = 0xD1B5_4A32_D192_ED03u64;
+        (0..4096)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                histo_core::dp::Block {
+                    width: 1,
+                    level: ((i / 256) as f64 + 1.0) * 0.01
+                        + (x >> 11) as f64 / (1u64 << 53) as f64 * 0.003,
+                    counted: true,
+                }
+            })
+            .collect()
+    };
+    let mut fits = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FEWBINS_THREADS", threads);
+        let fit = histo_core::dp::best_kpiece_fit(&blocks, 16).unwrap();
+        fits.push((threads, fit));
+    }
+    std::env::remove_var("FEWBINS_THREADS");
+    for (threads, fit) in &fits[1..] {
+        assert_eq!(
+            fit.l1_cost.to_bits(),
+            fits[0].1.l1_cost.to_bits(),
+            "DP cost diverged bitwise at FEWBINS_THREADS={threads}"
+        );
+        assert_eq!(
+            fit.piece_starts, fits[0].1.piece_starts,
+            "DP segmentation diverged at FEWBINS_THREADS={threads}"
+        );
+    }
+}

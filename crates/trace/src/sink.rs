@@ -1,0 +1,200 @@
+//! Trace sinks: where events go.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives trace events from a [`crate::Tracer`].
+///
+/// Implementations must not reorder events; the tracer guarantees it
+/// calls `record` in `seq` order.
+pub trait TraceSink: Send {
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output. Called by [`crate::Tracer::finish`].
+    fn flush(&mut self) {}
+}
+
+/// Discards every event. The default sink: tracing disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory; the test-facing sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle that can read the buffered events after the tracer (and
+    /// the boxed sink inside it) is gone.
+    pub fn handle(&self) -> MemoryHandle {
+        MemoryHandle {
+            events: Arc::clone(&self.events),
+        }
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Read-side handle to a [`MemorySink`]'s buffer.
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemoryHandle {
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+/// A cloneable, lockable byte buffer implementing [`io::Write`].
+///
+/// Lets a test hand a writer to a [`JsonlSink`] boxed inside a tracer
+/// and still read the bytes back afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out the bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.bytes.lock().unwrap().clone()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes each event as one JSON object per line (JSON Lines).
+///
+/// Serialization is hand-rolled in [`TraceEvent::to_json_line`] — this
+/// crate deliberately has zero dependencies so it can sit below every
+/// other workspace crate.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    /// First write error, if any; subsequent events are dropped. Trace
+    /// output must never abort a tester run mid-flight.
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncates) `path` and writes JSONL to it, buffered.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json_line();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    fn enter(seq: u64) -> TraceEvent {
+        TraceEvent::StageEnter {
+            seq,
+            stage: Stage::Learner,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.record(&enter(0));
+        boxed.record(&enter(1));
+        let got = handle.events();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], enter(0));
+        assert_eq!(got[1], enter(1));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = SharedBuffer::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.record(&enter(0));
+        sink.record(&enter(1));
+        sink.flush();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        let mut sink = NullSink;
+        sink.record(&enter(0));
+        sink.flush();
+    }
+}

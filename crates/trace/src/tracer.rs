@@ -1,0 +1,415 @@
+//! The tracer: span stack, sample ledger, and event emission.
+
+use crate::event::{Stage, TraceEvent, Value};
+use crate::sink::{NullSink, TraceSink};
+use std::time::Instant;
+
+/// Per-stage attribution of oracle draws.
+///
+/// Entries are kept in first-seen order, so the ledger (and everything
+/// rendered from it) is deterministic. Charges made while no span is
+/// open land in `unattributed`; the defining invariant is
+///
+/// ```text
+/// Σ stage totals + unattributed == total()
+/// ```
+///
+/// which holds by construction: every charge increments exactly one
+/// bucket and the running total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleLedger {
+    entries: Vec<(Stage, u64)>,
+    unattributed: u64,
+    total: u64,
+}
+
+impl SampleLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn charge(&mut self, stage: Option<Stage>, samples: u64) {
+        self.total += samples;
+        match stage {
+            None => self.unattributed += samples,
+            Some(stage) => {
+                if let Some(entry) = self.entries.iter_mut().find(|(s, _)| *s == stage) {
+                    entry.1 += samples;
+                } else {
+                    self.entries.push((stage, samples));
+                }
+            }
+        }
+    }
+
+    /// Per-stage totals in first-seen order.
+    pub fn entries(&self) -> &[(Stage, u64)] {
+        &self.entries
+    }
+
+    /// Total draws charged to `stage` (0 if never seen).
+    pub fn stage_total(&self, stage: Stage) -> u64 {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Draws charged while no span was open.
+    pub fn unattributed(&self) -> u64 {
+        self.unattributed
+    }
+
+    /// Grand total of charged draws.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+struct Frame {
+    stage: Stage,
+    /// Draws charged to this span exclusively (children excluded).
+    charged: u64,
+    start: Option<Instant>,
+}
+
+/// Owns a [`TraceSink`], a span stack, and a [`SampleLedger`].
+///
+/// The tracer is the single mutation point for trace state: stages are
+/// opened/closed with [`enter`](Tracer::enter)/[`exit`](Tracer::exit),
+/// oracle draws are attributed with [`charge`](Tracer::charge), and
+/// scalar observations are emitted with [`counter`](Tracer::counter).
+pub struct Tracer {
+    sink: Box<dyn TraceSink>,
+    stack: Vec<Frame>,
+    ledger: SampleLedger,
+    seq: u64,
+    timing: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(Box::new(NullSink))
+    }
+}
+
+impl Tracer {
+    /// A tracer emitting into `sink`, with wall-clock span timing on.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Self {
+            sink,
+            stack: Vec::new(),
+            ledger: SampleLedger::new(),
+            seq: 0,
+            timing: true,
+        }
+    }
+
+    /// Disables wall-clock timing: `elapsed_us` is omitted from every
+    /// span exit, making the emitted byte stream a pure function of the
+    /// algorithm's behavior (the determinism suite relies on this).
+    pub fn without_timing(mut self) -> Self {
+        self.timing = false;
+        self
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Opens a span for `stage`. Spans nest; close with [`exit`](Tracer::exit).
+    pub fn enter(&mut self, stage: Stage) {
+        let seq = self.next_seq();
+        let depth = self.stack.len();
+        self.sink
+            .record(&TraceEvent::StageEnter { seq, stage, depth });
+        self.stack.push(Frame {
+            stage,
+            charged: 0,
+            start: self.timing.then(Instant::now),
+        });
+    }
+
+    /// Closes the innermost span.
+    ///
+    /// # Panics
+    /// If no span is open — an unbalanced exit is a bug in the
+    /// instrumented code, not a runtime condition to tolerate.
+    pub fn exit(&mut self) {
+        let frame = self
+            .stack
+            .pop()
+            .expect("Tracer::exit with no open span (unbalanced instrumentation)");
+        let seq = self.next_seq();
+        let elapsed_us = frame
+            .start
+            .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        self.sink.record(&TraceEvent::StageExit {
+            seq,
+            stage: frame.stage,
+            depth: self.stack.len(),
+            samples: frame.charged,
+            elapsed_us,
+        });
+    }
+
+    /// The innermost open stage, if any.
+    pub fn current_stage(&self) -> Option<Stage> {
+        self.stack.last().map(|f| f.stage)
+    }
+
+    /// Attributes `samples` oracle draws to the innermost open stage
+    /// (or to the unattributed bucket at top level).
+    pub fn charge(&mut self, samples: u64) {
+        if samples == 0 {
+            return;
+        }
+        let stage = self.current_stage();
+        self.ledger.charge(stage, samples);
+        if let Some(frame) = self.stack.last_mut() {
+            frame.charged += samples;
+        }
+    }
+
+    /// Emits a named scalar, attributed to the innermost open stage.
+    pub fn counter(&mut self, name: &'static str, value: impl Into<Value>) {
+        let seq = self.next_seq();
+        let stage = self.current_stage();
+        self.sink.record(&TraceEvent::Counter {
+            seq,
+            stage,
+            name,
+            value: value.into(),
+        });
+    }
+
+    /// Read access to the ledger while tracing is still in progress.
+    pub fn ledger(&self) -> &SampleLedger {
+        &self.ledger
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Emits the ledger summary (one [`TraceEvent::LedgerEntry`] per
+    /// stage plus a [`TraceEvent::LedgerTotal`] footer), flushes the
+    /// sink, and returns the ledger.
+    ///
+    /// # Panics
+    /// If spans are still open — the instrumentation must be balanced
+    /// before the run is summarized.
+    pub fn finish(mut self) -> SampleLedger {
+        assert!(
+            self.stack.is_empty(),
+            "Tracer::finish with {} open span(s)",
+            self.stack.len()
+        );
+        for &(stage, samples) in self.ledger.entries.iter() {
+            self.sink
+                .record(&TraceEvent::LedgerEntry { stage, samples });
+        }
+        self.sink.record(&TraceEvent::LedgerTotal {
+            samples: self.ledger.total,
+            unattributed: self.ledger.unattributed,
+        });
+        self.sink.flush();
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{JsonlSink, MemorySink, SharedBuffer};
+
+    #[test]
+    fn charges_attribute_to_innermost_stage() {
+        let mut t = Tracer::default();
+        t.enter(Stage::Sieve);
+        t.charge(10);
+        t.enter(Stage::AdkTest);
+        t.charge(5);
+        t.exit();
+        t.charge(2);
+        t.exit();
+        t.charge(3); // top level: unattributed
+        let ledger = t.finish();
+        assert_eq!(ledger.stage_total(Stage::Sieve), 12);
+        assert_eq!(ledger.stage_total(Stage::AdkTest), 5);
+        assert_eq!(ledger.unattributed(), 3);
+        assert_eq!(ledger.total(), 20);
+    }
+
+    #[test]
+    fn ledger_partitions_total() {
+        let mut t = Tracer::default();
+        for (stage, n) in [
+            (Stage::ApproxPart, 7u64),
+            (Stage::Learner, 11),
+            (Stage::Sieve, 13),
+            (Stage::ApproxPart, 5),
+        ] {
+            t.enter(stage);
+            t.charge(n);
+            t.exit();
+        }
+        let ledger = t.finish();
+        let sum: u64 = ledger.entries().iter().map(|(_, n)| n).sum();
+        assert_eq!(sum + ledger.unattributed(), ledger.total());
+        assert_eq!(ledger.stage_total(Stage::ApproxPart), 12);
+        // First-seen order is preserved.
+        let stages: Vec<Stage> = ledger.entries().iter().map(|(s, _)| *s).collect();
+        assert_eq!(stages, [Stage::ApproxPart, Stage::Learner, Stage::Sieve]);
+    }
+
+    #[test]
+    fn exit_reports_exclusive_samples() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink)).without_timing();
+        t.enter(Stage::Sieve);
+        t.charge(10);
+        t.enter(Stage::AdkTest);
+        t.charge(4);
+        t.exit();
+        t.exit();
+        t.finish();
+        let exits: Vec<(Stage, u64)> = handle
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StageExit { stage, samples, .. } => Some((*stage, *samples)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, [(Stage::AdkTest, 4), (Stage::Sieve, 10)]);
+    }
+
+    #[test]
+    fn sum_of_exit_samples_matches_ledger_total() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink)).without_timing();
+        t.enter(Stage::ApproxPart);
+        t.charge(3);
+        t.enter(Stage::Learner);
+        t.charge(9);
+        t.exit();
+        t.charge(1);
+        t.exit();
+        let ledger = t.finish();
+        let from_exits: u64 = handle
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StageExit { samples, .. } => Some(*samples),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(from_exits + ledger.unattributed(), ledger.total());
+    }
+
+    #[test]
+    fn counters_carry_current_stage() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink)).without_timing();
+        t.counter("top", 1u64);
+        t.enter(Stage::Sieve);
+        t.counter("round", 2u64);
+        t.exit();
+        t.finish();
+        let counters: Vec<(Option<Stage>, &'static str)> = handle
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { stage, name, .. } => Some((*stage, *name)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, [(None, "top"), (Some(Stage::Sieve), "round")]);
+    }
+
+    #[test]
+    fn timing_off_yields_identical_bytes_across_runs() {
+        let run = || {
+            let buf = SharedBuffer::new();
+            let mut t = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+            t.enter(Stage::ApproxPart);
+            t.charge(100);
+            t.counter("partition_size", 17u64);
+            t.exit();
+            t.finish();
+            buf.contents()
+        };
+        assert_eq!(run(), run());
+        assert!(!run().is_empty());
+    }
+
+    #[test]
+    fn timing_on_emits_elapsed() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink));
+        t.enter(Stage::Check);
+        t.exit();
+        t.finish();
+        let has_elapsed = handle.events().iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::StageExit {
+                    elapsed_us: Some(_),
+                    ..
+                }
+            )
+        });
+        assert!(has_elapsed);
+    }
+
+    #[test]
+    fn finish_emits_ledger_rows_then_total() {
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink)).without_timing();
+        t.enter(Stage::Learner);
+        t.charge(8);
+        t.exit();
+        t.finish();
+        let events = handle.events();
+        let n = events.len();
+        assert_eq!(
+            events[n - 2],
+            TraceEvent::LedgerEntry {
+                stage: Stage::Learner,
+                samples: 8
+            }
+        );
+        assert_eq!(
+            events[n - 1],
+            TraceEvent::LedgerTotal {
+                samples: 8,
+                unattributed: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_exit_panics() {
+        let mut t = Tracer::default();
+        t.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn finish_with_open_span_panics() {
+        let mut t = Tracer::default();
+        t.enter(Stage::Sieve);
+        t.finish();
+    }
+}

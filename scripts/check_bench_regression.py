@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the distance-to-H_k DP engines.
+
+Re-times `exp_dp_scaling` on a cheap sub-grid of the tracked baseline
+(`BENCH_dp.json`) and fails if any re-timed cell is more than TOLERANCE
+times slower than the baseline cell, for either engine column (`fit_ms`,
+`cost_ms`). The tolerance is deliberately loose (default 2.5x) because CI
+runners are noisy and the baseline may have been recorded on different
+hardware; the gate exists to catch order-of-magnitude regressions (an
+accidental O(B^2) path, a lost pruning rule), not single-digit-percent
+drift.
+
+Knobs (environment):
+  FEWBINS_BENCH_TOLERANCE  max allowed slowdown ratio (default 2.5)
+  FEWBINS_DP_GRID          sub-grid to re-time (default 256,1024x4,16)
+  FEWBINS_DP_REPS          timing reps per cell (default 2)
+
+Usage: scripts/check_bench_regression.py [baseline.json]
+Runs `cargo run --release -p histo-bench --bin exp_dp_scaling` itself,
+with FEWBINS_DP_OUT pointed at a temp file so the tracked baseline is
+never clobbered.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+baseline_path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO, "BENCH_dp.json")
+tolerance = float(os.environ.get("FEWBINS_BENCH_TOLERANCE", "2.5"))
+grid = os.environ.get("FEWBINS_DP_GRID", "256,1024x4,16")
+reps = os.environ.get("FEWBINS_DP_REPS", "2")
+
+with open(baseline_path) as f:
+    baseline = {(c["b"], c["k"]): c for c in json.load(f)["cells"]}
+
+out_path = os.path.join(tempfile.mkdtemp(prefix="fewbins-bench-gate-"), "dp.json")
+env = dict(os.environ, FEWBINS_DP_GRID=grid, FEWBINS_DP_REPS=reps, FEWBINS_DP_OUT=out_path)
+cmd = ["cargo", "run", "--release", "-q", "-p", "histo-bench", "--bin", "exp_dp_scaling"]
+print(f"gate: re-timing grid {grid} (reps={reps}, tolerance={tolerance}x)")
+subprocess.run(cmd, cwd=REPO, env=env, check=True)
+
+with open(out_path) as f:
+    current = json.load(f)["cells"]
+
+failures = []
+for cell in current:
+    key = (cell["b"], cell["k"])
+    base = baseline.get(key)
+    if base is None:
+        print(f"skip B={key[0]} k={key[1]}: not in baseline")
+        continue
+    for col in ("fit_ms", "cost_ms"):
+        now, then = cell[col], base[col]
+        ratio = now / then if then > 0 else float("inf")
+        verdict = "FAIL" if ratio > tolerance else "ok"
+        print(f"{verdict} B={key[0]:>5} k={key[1]:>3} {col}: {now:.3f} ms vs baseline {then:.3f} ms ({ratio:.2f}x)")
+        if ratio > tolerance:
+            failures.append((key, col, ratio))
+    # The DP is deterministic: a changed l1_cost is a correctness bug, not noise.
+    if abs(cell["l1_cost"] - base["l1_cost"]) > 1e-9:
+        print(f"FAIL B={key[0]} k={key[1]}: l1_cost {cell['l1_cost']} != baseline {base['l1_cost']}")
+        failures.append((key, "l1_cost", cell["l1_cost"]))
+
+if failures:
+    print(f"bench gate: {len(failures)} regression(s) beyond {tolerance}x "
+          f"(raise FEWBINS_BENCH_TOLERANCE only if the runner is known-slow)")
+    sys.exit(1)
+print("bench gate: all cells within tolerance")

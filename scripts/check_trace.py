@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validates a histo-trace JSONL file (the fewbins `--trace` output).
+
+Checks, per trace file:
+  1. every line is a JSON object with a known "ev" kind;
+  2. enter/exit spans are balanced, properly nested, and depth-consistent
+     (exit stage matches the matching enter, depths agree with the stack);
+  3. seq numbers of enter/exit/counter events are strictly increasing;
+  4. the ledger footer is present, its per-stage rows equal the sum of
+     exit samples per stage, and stage totals + unattributed equal the
+     grand total — the ScopedOracle ledger invariant, re-verified from
+     the serialized stream alone.
+
+Usage: scripts/check_trace.py trace.jsonl [more.jsonl ...]
+Exits non-zero on the first malformed file (after printing all findings).
+"""
+import json
+import sys
+
+KINDS = {"enter", "exit", "counter", "ledger", "ledger_total"}
+
+
+def check(path):
+    errors = []
+    stack = []  # stage names of open spans
+    exit_samples = {}  # stage -> summed exclusive exit samples
+    ledger_rows = {}
+    ledger_total = None
+    last_seq = -1
+    events = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: not JSON ({e})")
+                continue
+            kind = ev.get("ev")
+            if kind not in KINDS:
+                errors.append(f"line {lineno}: unknown ev {kind!r}")
+                continue
+            events += 1
+            if "seq" in ev:
+                if ev["seq"] <= last_seq:
+                    errors.append(f"line {lineno}: seq {ev['seq']} not increasing")
+                last_seq = ev["seq"]
+            if kind == "enter":
+                if ev["depth"] != len(stack):
+                    errors.append(f"line {lineno}: enter depth {ev['depth']} != stack {len(stack)}")
+                stack.append(ev["stage"])
+            elif kind == "exit":
+                if not stack:
+                    errors.append(f"line {lineno}: exit with no open span")
+                    continue
+                opened = stack.pop()
+                if ev["stage"] != opened:
+                    errors.append(f"line {lineno}: exit {ev['stage']!r} closes {opened!r}")
+                if ev["depth"] != len(stack):
+                    errors.append(f"line {lineno}: exit depth {ev['depth']} != stack {len(stack)}")
+                exit_samples[ev["stage"]] = exit_samples.get(ev["stage"], 0) + ev["samples"]
+            elif kind == "ledger":
+                ledger_rows[ev["stage"]] = ev["samples"]
+            elif kind == "ledger_total":
+                ledger_total = (ev["samples"], ev["unattributed"])
+    if stack:
+        errors.append(f"{len(stack)} span(s) never exited: {stack}")
+    if ledger_total is None:
+        errors.append("no ledger_total footer (trace truncated?)")
+    else:
+        total, unattributed = ledger_total
+        if sum(ledger_rows.values()) + unattributed != total:
+            errors.append(
+                f"ledger rows {sum(ledger_rows.values())} + unattributed {unattributed} != total {total}"
+            )
+        # Exit samples are exclusive (children charge their own spans), so
+        # summing them per stage must reproduce the ledger rows exactly.
+        # Stages that drew nothing (e.g. the offline `check`) have exits
+        # but no ledger row.
+        nonzero_exits = {s: n for s, n in exit_samples.items() if n > 0}
+        if nonzero_exits != ledger_rows:
+            errors.append(f"exit-sample sums {nonzero_exits} != ledger rows {ledger_rows}")
+        if sum(exit_samples.values()) + unattributed != total:
+            errors.append("sum of exit samples + unattributed != ledger total")
+    for e in errors:
+        print(f"BAD {path}: {e}")
+    if not errors:
+        total = ledger_total[0]
+        print(f"ok {path}: {events} events, {len(ledger_rows)} stage(s), {total} samples attributed")
+    return not errors
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    sys.exit(0 if all([check(p) for p in sys.argv[1:]]) else 1)

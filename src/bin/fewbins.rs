@@ -103,6 +103,35 @@ fn estimate_budget(config: &TesterConfig, n: usize, k: usize, eps: f64) -> u64 {
     ap + learner + (rounds * m_sieve) as u64 + m_test as u64
 }
 
+/// Runs `body` against `oracle`, optionally wrapped in a tracing
+/// [`ScopedOracle`] that writes stage spans and the sample ledger as JSON
+/// Lines to `trace_path`. The per-stage summary goes to stderr so stdout
+/// stays machine-readable.
+fn with_optional_trace<T>(
+    oracle: &mut dyn SampleOracle,
+    trace_path: &Option<String>,
+    body: impl FnOnce(&mut dyn SampleOracle) -> Result<T, String>,
+) -> Result<T, String> {
+    let Some(path) = trace_path else {
+        return body(oracle);
+    };
+    let sink = JsonlSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let mut scoped = ScopedOracle::new(oracle, Box::new(sink));
+    let result = body(&mut scoped);
+    let ledger = scoped.finish();
+    eprintln!("fewbins: trace written to {path}; samples by stage:");
+    for (stage, samples) in ledger.entries() {
+        eprintln!("fewbins:   {:>16}  {samples}", stage.name());
+    }
+    eprintln!(
+        "fewbins:   {:>16}  {}  (total {})",
+        "unattributed",
+        ledger.unattributed(),
+        ledger.total()
+    );
+    result
+}
+
 #[derive(Debug, Default)]
 struct Args {
     n: Option<usize>,
@@ -112,6 +141,7 @@ struct Args {
     max_k: usize,
     scale: f64,
     no_resample: bool,
+    trace: Option<String>,
     file: Option<String>,
 }
 
@@ -156,6 +186,7 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                 }
             }
             "--no-resample" => args.no_resample = true,
+            "--trace" => args.trace = Some(take("--trace")?),
             other if !other.starts_with("--") => args.file = Some(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -202,7 +233,7 @@ fn run() -> Result<(), String> {
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
         eprintln!(
             "usage: fewbins <test|select-k|certify|sketch> [--n N] [--k K] [--eps E] \
-             [--seed S] [--max-k M] [file|-]"
+             [--seed S] [--max-k M] [--trace out.jsonl] [file|-]"
         );
         return Ok(());
     }
@@ -231,9 +262,9 @@ fn run() -> Result<(), String> {
             }
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
-            let decision = tester
-                .test(&mut oracle, k, eps, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let decision = with_optional_trace(&mut oracle, &args.trace, |o| {
+                tester.test(o, k, eps, &mut rng).map_err(|e| e.to_string())
+            })?;
             println!(
                 "{} (H_{k} at eps = {eps}; {} draws over [0..{n}))",
                 if decision.accepted() {
@@ -250,14 +281,19 @@ fn run() -> Result<(), String> {
             let config = TesterConfig::practical().scaled(args.scale);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
-            let sel = doubling_search(&tester, &mut oracle, eps, args.max_k, 3, true, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let sel = with_optional_trace(&mut oracle, &args.trace, |o| {
+                doubling_search(&tester, o, eps, args.max_k, 3, true, &mut rng)
+                    .map_err(|e| e.to_string())
+            })?;
             match sel.selected_k {
                 Some(k) => println!("selected k = {k} (decisions: {:?})", sel.trials),
                 None => println!("no k <= {} accepted at eps = {eps}", args.max_k),
             }
         }
         "certify" => {
+            if args.trace.is_some() {
+                eprintln!("fewbins: warning: --trace is ignored by `certify` (no sampling)");
+            }
             let k = args.k.ok_or("certify requires --k")?;
             let toks = read_numbers(&args.file)?;
             let weights: Vec<f64> = toks
@@ -281,9 +317,12 @@ fn run() -> Result<(), String> {
             let k = args.k.ok_or("sketch requires --k")?;
             let eps = args.eps.unwrap_or(0.1);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
-            let sketch = AgnosticLearner::default()
-                .learn(&mut oracle, k, eps, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let learner = AgnosticLearner::default();
+            let sketch = with_optional_trace(&mut oracle, &args.trace, |o| {
+                learner
+                    .learn(o, k, eps, &mut rng)
+                    .map_err(|e| e.to_string())
+            })?;
             println!("# k-histogram sketch: start_index level");
             for (j, iv) in sketch.partition().intervals().iter().enumerate() {
                 println!("{} {:.9}", iv.lo(), sketch.levels()[j]);
@@ -354,6 +393,21 @@ mod tests {
         assert_eq!(args.scale, 0.5);
         assert!(args.no_resample);
         assert_eq!(args.file.as_deref(), Some("data.txt"));
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let (_, args) = parse_args(&strs(&[
+            "test",
+            "--k",
+            "2",
+            "--trace",
+            "out.jsonl",
+            "d.txt",
+        ]))
+        .unwrap();
+        assert_eq!(args.trace.as_deref(), Some("out.jsonl"));
+        assert!(parse_args(&strs(&["test", "--trace"])).is_err());
     }
 
     #[test]

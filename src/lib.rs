@@ -46,6 +46,7 @@
 //! |---|---|
 //! | [`core`] | distributions, partitions, k-histogram representations, distances, exact DPs |
 //! | [`stats`] | special functions, Poisson/binomial, amplification, confidence intervals |
+//! | [`trace`] | stage spans, counters, sample ledger, JSONL sinks |
 //! | [`sampling`] | alias sampler, counting oracles, workload generators |
 //! | [`testers`] | Algorithm 1 and all subroutines; baselines; model selection |
 //! | [`lowerbounds`] | the `Q_ε` family, `SuppSize`, the §4.2 reduction |
@@ -63,6 +64,8 @@ pub use histo_sampling as sampling;
 pub use histo_stats as stats;
 /// Re-export of `histo-testers`.
 pub use histo_testers as testers;
+/// Re-export of `histo-trace`.
+pub use histo_trace as trace;
 
 pub use histo_core::{Distribution, HistoError, Interval, KHistogram, Partition};
 
@@ -74,10 +77,11 @@ pub mod prelude {
         gaussian_bump, geometric, mixture, random_k_histogram, sawtooth_perturbation, staircase,
         uniform_sawtooth, zipf,
     };
-    pub use histo_sampling::{DistOracle, SampleOracle};
+    pub use histo_sampling::{DistOracle, SampleOracle, ScopedOracle};
     pub use histo_testers::agnostic::AgnosticLearner;
     pub use histo_testers::config::TesterConfig;
     pub use histo_testers::histogram_tester::{Ablation, HistogramTester};
     pub use histo_testers::model_selection::doubling_search;
     pub use histo_testers::{Decision, Tester};
+    pub use histo_trace::{JsonlSink, NullSink, SampleLedger, Stage, TraceSink, Tracer};
 }
