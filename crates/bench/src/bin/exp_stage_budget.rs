@@ -78,11 +78,11 @@ fn main() {
             seed() ^ ((n as u64) << 8) ^ k as u64,
             threads(),
         );
-        // The ledger invariant, aggregated over the cell's trials.
-        let total_drawn = staged.estimate.samples.mean() * staged.estimate.trials as f64;
+        // The ledger invariant, aggregated over the cell's trials: stage
+        // totals + unattributed must equal the exact integer draw total.
         assert_eq!(
-            staged.total_samples() as f64,
-            total_drawn,
+            staged.total_samples(),
+            staged.estimate.total_drawn,
             "ledger must sum to total draws at n={n} k={k}"
         );
         let per = |s: Stage| staged.mean_stage_samples(s);

@@ -37,6 +37,9 @@ pub struct AcceptanceEstimate {
     pub accepts: u64,
     /// Total trials.
     pub trials: u64,
+    /// Exact total samples drawn across all trials — an integer sum with
+    /// no float rounding, the reference quantity for ledger invariants.
+    pub total_drawn: u64,
     /// 95% Wilson interval for the acceptance probability.
     pub ci: WilsonInterval,
     /// Measured samples drawn per trial (mean/min/max/stddev).
@@ -61,9 +64,11 @@ impl AcceptanceEstimate {
 /// that nearby trial indices get well-separated streams. Because the seed
 /// is a pure function of `(seed, i)` and workers claim trial indices from
 /// a shared atomic counter, every trial computes the same result no matter
-/// which worker runs it: estimates are **bitwise independent of the thread
-/// count** (only the merge order of the commutative accumulators varies,
-/// and the accept count / sample stats are permutation-invariant).
+/// which worker runs it; per-trial draw counts are collected with their
+/// trial index and folded into the summary statistics in trial order
+/// after all workers join, so every field of the result — accepts,
+/// `total_drawn`, and the Welford `samples` stats — is **bitwise
+/// independent of the thread count**.
 ///
 /// # Panics
 ///
@@ -84,14 +89,14 @@ pub fn estimate_acceptance(
     } else {
         threads
     };
-    let results = parking_lot::Mutex::new((0u64, RunningStats::new()));
+    let results = parking_lot::Mutex::new((0u64, Vec::<(u64, u64)>::new()));
     let next = std::sync::atomic::AtomicU64::new(0);
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
                 let mut local_accepts = 0u64;
-                let mut local_samples = RunningStats::new();
+                let mut local_draws: Vec<(u64, u64)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= trials {
@@ -108,23 +113,40 @@ pub fn estimate_acceptance(
                     if decision.accepted() {
                         local_accepts += 1;
                     }
-                    local_samples.push(oracle.samples_drawn() as f64);
+                    local_draws.push((i, oracle.samples_drawn()));
                 }
                 let mut guard = results.lock();
                 guard.0 += local_accepts;
-                guard.1.merge(&local_samples);
+                guard.1.extend_from_slice(&local_draws);
             });
         }
     })
     .expect("worker threads must not panic");
 
-    let (accepts, samples) = results.into_inner();
+    let (accepts, mut draws) = results.into_inner();
+    let (samples, total_drawn) = fold_draws(&mut draws);
     AcceptanceEstimate {
         accepts,
         trials,
+        total_drawn,
         ci: WilsonInterval::ci95(accepts, trials),
         samples,
     }
+}
+
+/// Folds per-trial `(trial index, draws)` records into summary statistics
+/// in trial order, so the Welford accumulation is a pure function of the
+/// per-trial values — bitwise independent of which worker ran which trial
+/// or the order workers finished. Also returns the exact integer total.
+fn fold_draws(draws: &mut [(u64, u64)]) -> (RunningStats, u64) {
+    draws.sort_unstable_by_key(|&(i, _)| i);
+    let mut samples = RunningStats::new();
+    let mut total = 0u64;
+    for &(_, n) in draws.iter() {
+        samples.push(n as f64);
+        total += n;
+    }
+    (samples, total)
 }
 
 /// [`AcceptanceEstimate`] plus the per-stage sample ledger aggregated
@@ -180,9 +202,10 @@ fn stage_rank(stage: Stage) -> (u8, &'static str) {
 /// oracle is wrapped in a [`ScopedOracle`] (with a [`NullSink`], so no
 /// events are rendered) and the per-trial ledgers are summed.
 ///
-/// Stage totals are `u64` sums, so like the base estimator the result is
-/// bitwise independent of the thread count. The wrapper forwards draws
-/// without touching the RNG, so `estimate` matches what
+/// Stage totals are `u64` sums and the per-trial sample statistics are
+/// folded in trial order, so like the base estimator every field of the
+/// result is bitwise independent of the thread count. The wrapper
+/// forwards draws without touching the RNG, so `estimate` matches what
 /// [`estimate_acceptance`] reports for the same `(tester, ensemble, seed)`.
 ///
 /// # Panics
@@ -203,8 +226,8 @@ pub fn estimate_acceptance_staged(
     } else {
         threads
     };
-    type Acc = (u64, RunningStats, Vec<(Stage, u64)>, u64);
-    let results = parking_lot::Mutex::new((0u64, RunningStats::new(), Vec::new(), 0u64));
+    type Acc = (u64, Vec<(u64, u64)>, Vec<(Stage, u64)>, u64);
+    let results = parking_lot::Mutex::new((0u64, Vec::new(), Vec::new(), 0u64));
     let next = std::sync::atomic::AtomicU64::new(0);
 
     let merge_stages = |into: &mut Vec<(Stage, u64)>, from: &[(Stage, u64)]| {
@@ -220,7 +243,7 @@ pub fn estimate_acceptance_staged(
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
-                let mut local: Acc = (0, RunningStats::new(), Vec::new(), 0);
+                let mut local: Acc = (0, Vec::new(), Vec::new(), 0);
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= trials {
@@ -240,13 +263,13 @@ pub fn estimate_acceptance_staged(
                     if decision.accepted() {
                         local.0 += 1;
                     }
-                    local.1.push(drawn as f64);
+                    local.1.push((i, drawn));
                     merge_stages(&mut local.2, ledger.entries());
                     local.3 += ledger.unattributed();
                 }
                 let mut guard = results.lock();
                 guard.0 += local.0;
-                guard.1.merge(&local.1);
+                guard.1.extend_from_slice(&local.1);
                 merge_stages(&mut guard.2, &local.2);
                 guard.3 += local.3;
             });
@@ -254,12 +277,14 @@ pub fn estimate_acceptance_staged(
     })
     .expect("worker threads must not panic");
 
-    let (accepts, samples, mut stages, unattributed) = results.into_inner();
+    let (accepts, mut draws, mut stages, unattributed) = results.into_inner();
     stages.sort_by_key(|&(s, _)| stage_rank(s));
+    let (samples, total_drawn) = fold_draws(&mut draws);
     StagedAcceptance {
         estimate: AcceptanceEstimate {
             accepts,
             trials,
+            total_drawn,
             ci: WilsonInterval::ci95(accepts, trials),
             samples,
         },
@@ -283,10 +308,13 @@ mod tests {
         assert!(a.rate() >= 0.8, "rate {}", a.rate());
         assert_eq!(a.trials, 40);
         assert!(a.samples.mean() > 0.0);
-        // Same seed, different thread count => identical outcome.
+        // Same seed, different thread count => identical outcome; the
+        // trial-order fold makes the Welford stats bitwise-invariant too.
         let b = estimate_acceptance(&t, &FixedInstance(d), 1, 0.3, 40, 7, 1);
         assert_eq!(a.accepts, b.accepts);
+        assert_eq!(a.total_drawn, b.total_drawn);
         assert_eq!(a.samples.mean(), b.samples.mean());
+        assert_eq!(a.samples.variance(), b.samples.variance());
     }
 
     #[test]
@@ -308,13 +336,15 @@ mod tests {
         let t = HistogramTester::practical();
         let plain = estimate_acceptance(&t, &FixedInstance(d.clone()), 2, 0.35, 8, 13, 2);
         let staged = estimate_acceptance_staged(&t, &FixedInstance(d), 2, 0.35, 8, 13, 2);
-        // The tracing wrapper must not perturb the trials.
+        // The tracing wrapper must not perturb the trials. Both totals
+        // are exact u64 sums and both means are trial-order folds over
+        // the same per-trial draw counts, so equality is exact.
         assert_eq!(staged.estimate.accepts, plain.accepts);
+        assert_eq!(staged.estimate.total_drawn, plain.total_drawn);
         assert_eq!(staged.estimate.samples.mean(), plain.samples.mean());
         // Ledger invariant, aggregated: stage totals + unattributed ==
-        // total draws over all trials.
-        let total_drawn = staged.estimate.samples.mean() * staged.estimate.trials as f64;
-        assert_eq!(staged.total_samples() as f64, total_drawn);
+        // total draws over all trials (integer-to-integer comparison).
+        assert_eq!(staged.total_samples(), staged.estimate.total_drawn);
         assert_eq!(staged.unattributed, 0);
         // The pipeline stages all drew something, in canonical order.
         let names: Vec<&str> = staged.stages.iter().map(|(s, _)| s.name()).collect();
@@ -341,6 +371,9 @@ mod tests {
         let a = estimate_acceptance_staged(&t, &FixedInstance(d.clone()), 2, 0.35, 8, 13, 1);
         let b = estimate_acceptance_staged(&t, &FixedInstance(d), 2, 0.35, 8, 13, 4);
         assert_eq!(a.estimate.accepts, b.estimate.accepts);
+        assert_eq!(a.estimate.total_drawn, b.estimate.total_drawn);
+        assert_eq!(a.estimate.samples.mean(), b.estimate.samples.mean());
+        assert_eq!(a.estimate.samples.variance(), b.estimate.samples.variance());
         assert_eq!(a.stages, b.stages);
         assert_eq!(a.unattributed, b.unattributed);
     }
