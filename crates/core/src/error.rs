@@ -48,6 +48,14 @@ pub enum HistoError {
         /// Second domain size.
         right: usize,
     },
+    /// A sample oracle refused a draw because its hard sample budget was
+    /// exhausted (budget caps, fault injection, finite replay datasets).
+    OracleExhausted {
+        /// The hard cap, in draws.
+        budget: u64,
+        /// Draws already served when the refused request arrived.
+        drawn: u64,
+    },
 }
 
 impl fmt::Display for HistoError {
@@ -72,11 +80,31 @@ impl fmt::Display for HistoError {
             HistoError::DomainMismatch { left, right } => {
                 write!(f, "domain sizes differ: {left} vs {right}")
             }
+            HistoError::OracleExhausted { budget, drawn } => {
+                write!(
+                    f,
+                    "sample budget exhausted: cap is {budget} draws, {drawn} already drawn"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for HistoError {}
+
+impl From<histo_stats::StatsError> for HistoError {
+    fn from(e: histo_stats::StatsError) -> Self {
+        match e {
+            histo_stats::StatsError::EmptyInput { what } => HistoError::InvalidParameter {
+                name: what,
+                reason: "empty input".to_string(),
+            },
+            histo_stats::StatsError::InvalidParameter { name, reason } => {
+                HistoError::InvalidParameter { name, reason }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -103,5 +131,31 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&HistoError::EmptyDomain);
+    }
+
+    #[test]
+    fn oracle_exhausted_displays_budget_and_drawn() {
+        let e = HistoError::OracleExhausted {
+            budget: 1000,
+            drawn: 1000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1000"), "{msg}");
+        assert!(msg.contains("exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn stats_error_converts() {
+        let e: HistoError = histo_stats::StatsError::EmptyInput {
+            what: "majority_vote",
+        }
+        .into();
+        assert!(matches!(
+            e,
+            HistoError::InvalidParameter {
+                name: "majority_vote",
+                ..
+            }
+        ));
     }
 }

@@ -34,4 +34,4 @@ pub mod oracle;
 pub mod permutation;
 
 pub use alias::AliasSampler;
-pub use oracle::{DistOracle, SampleOracle, ScopedOracle};
+pub use oracle::{BudgetedOracle, DistOracle, SampleOracle, ScopedOracle};

@@ -14,7 +14,7 @@
 
 use crate::alias::AliasSampler;
 use histo_core::empirical::SampleCounts;
-use histo_core::Distribution;
+use histo_core::{Distribution, HistoError};
 use histo_stats::Poisson;
 use histo_trace::{SampleLedger, Stage, TraceSink, Tracer, Value};
 use rand::RngCore;
@@ -47,6 +47,48 @@ pub trait SampleOracle {
         self.draw_counts(m_prime, rng)
     }
 
+    /// Fallible single draw. Oracles that can legitimately run out of
+    /// samples at runtime — a hard budget cap ([`BudgetedOracle`], the
+    /// fault-injection layer in `histo-faults`), a finite replay dataset —
+    /// override this to return [`HistoError::OracleExhausted`] instead of
+    /// panicking. The default forwards to the infallible [`SampleOracle::draw`],
+    /// so plain oracles never fail here and their RNG streams are
+    /// bit-identical whichever entry point the caller uses.
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        Ok(self.draw(rng))
+    }
+
+    /// Fallible batch draw; see [`SampleOracle::try_draw`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::OracleExhausted`] when the oracle cannot serve
+    /// the whole batch. Any draws consumed by a refused batch stay counted
+    /// in [`SampleOracle::samples_drawn`] — refusal never un-counts work.
+    fn try_draw_counts(
+        &mut self,
+        m: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        Ok(self.draw_counts(m, rng))
+    }
+
+    /// Fallible Poissonized batch; see [`SampleOracle::try_draw`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoError::OracleExhausted`] when the oracle cannot serve
+    /// the whole batch (the batch size `m' ~ Poisson(m)` is only known
+    /// after drawing it, so capped oracles may consume draws and then
+    /// refuse the batch; the consumed draws stay counted).
+    fn try_poissonized_counts(
+        &mut self,
+        m: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        Ok(self.poissonized_counts(m, rng))
+    }
+
     /// The [`Tracer`] charging this oracle's draws to pipeline stages, if
     /// one is attached. Plain oracles return `None` (the default), which
     /// makes every `trace_*` helper below a no-op — tracing costs nothing
@@ -74,6 +116,56 @@ pub trait SampleOracle {
         if let Some(t) = self.tracer() {
             t.counter(name, value);
         }
+    }
+}
+
+/// A `&mut` reference to an oracle is itself an oracle. Every method —
+/// including the fallible and batch paths — forwards to the referent, so
+/// overrides (budget caps, fast Poissonization, tracing) are never bypassed
+/// by a default implementation on the reference.
+impl<O: SampleOracle + ?Sized> SampleOracle for &mut O {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        (**self).draw(rng)
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        (**self).samples_drawn()
+    }
+
+    fn draw_counts(&mut self, m: u64, rng: &mut dyn RngCore) -> SampleCounts {
+        (**self).draw_counts(m, rng)
+    }
+
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        (**self).poissonized_counts(m, rng)
+    }
+
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        (**self).try_draw(rng)
+    }
+
+    fn try_draw_counts(
+        &mut self,
+        m: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        (**self).try_draw_counts(m, rng)
+    }
+
+    fn try_poissonized_counts(
+        &mut self,
+        m: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        (**self).try_poissonized_counts(m, rng)
+    }
+
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        (**self).tracer()
     }
 }
 
@@ -153,8 +245,153 @@ impl SampleOracle for ScopedOracle<'_> {
         counts
     }
 
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        let before = self.inner.samples_drawn();
+        let r = self.inner.try_draw(rng);
+        // Charge on Err too: a refused request may still have consumed
+        // draws (Poissonized overshoot), and the ledger must account them.
+        self.charge_delta(before);
+        r
+    }
+
+    fn try_draw_counts(
+        &mut self,
+        m: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        let before = self.inner.samples_drawn();
+        let r = self.inner.try_draw_counts(m, rng);
+        self.charge_delta(before);
+        r
+    }
+
+    fn try_poissonized_counts(
+        &mut self,
+        m: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        let before = self.inner.samples_drawn();
+        let r = self.inner.try_poissonized_counts(m, rng);
+        self.charge_delta(before);
+        r
+    }
+
     fn tracer(&mut self) -> Option<&mut Tracer> {
         Some(&mut self.tracer)
+    }
+}
+
+/// Enforces a hard draw budget over an inner oracle.
+///
+/// The fallible `try_*` methods return [`HistoError::OracleExhausted`] once
+/// the cap is reached; the infallible methods panic in the same situation
+/// (callers that opt into budgets should use the `try_*` path — the
+/// resilient runtime in `histo-testers` does).
+///
+/// Budget semantics:
+///
+/// - `try_draw`: refused once `used() >= budget`.
+/// - `try_draw_counts(m, ..)`: strict pre-check — refused (drawing nothing)
+///   if `used() + m` would exceed the budget.
+/// - `try_poissonized_counts(m, ..)`: the batch size is `Poisson(m)`, known
+///   only after drawing, so the check is pre + post: refused up front once
+///   the cap is reached, and a batch that overshoots the cap is withheld
+///   (its draws stay counted, but no data past the cap is released).
+pub struct BudgetedOracle<'a> {
+    inner: &'a mut dyn SampleOracle,
+    budget: u64,
+    start: u64,
+}
+
+impl<'a> BudgetedOracle<'a> {
+    /// Caps `inner` at `budget` further draws (counted from its current
+    /// [`SampleOracle::samples_drawn`]).
+    pub fn new(inner: &'a mut dyn SampleOracle, budget: u64) -> Self {
+        let start = inner.samples_drawn();
+        Self {
+            inner,
+            budget,
+            start,
+        }
+    }
+
+    /// Draws consumed through (or since) this wrapper so far.
+    pub fn used(&self) -> u64 {
+        self.inner.samples_drawn().saturating_sub(self.start)
+    }
+
+    /// Draws remaining before the cap.
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.used())
+    }
+
+    fn exhausted(&self) -> HistoError {
+        HistoError::OracleExhausted {
+            budget: self.budget,
+            drawn: self.used(),
+        }
+    }
+}
+
+impl SampleOracle for BudgetedOracle<'_> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        self.try_draw(rng)
+            .unwrap_or_else(|e| panic!("{e} (use try_draw for graceful handling)"))
+    }
+
+    fn samples_drawn(&self) -> u64 {
+        self.inner.samples_drawn()
+    }
+
+    fn draw_counts(&mut self, m: u64, rng: &mut dyn RngCore) -> SampleCounts {
+        self.try_draw_counts(m, rng)
+            .unwrap_or_else(|e| panic!("{e} (use try_draw_counts for graceful handling)"))
+    }
+
+    fn poissonized_counts(&mut self, m: f64, rng: &mut dyn RngCore) -> SampleCounts {
+        self.try_poissonized_counts(m, rng)
+            .unwrap_or_else(|e| panic!("{e} (use try_poissonized_counts for graceful handling)"))
+    }
+
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        if self.used() >= self.budget {
+            return Err(self.exhausted());
+        }
+        self.inner.try_draw(rng)
+    }
+
+    fn try_draw_counts(
+        &mut self,
+        m: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        if self.used() + m > self.budget {
+            return Err(self.exhausted());
+        }
+        self.inner.try_draw_counts(m, rng)
+    }
+
+    fn try_poissonized_counts(
+        &mut self,
+        m: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        if self.used() >= self.budget {
+            return Err(self.exhausted());
+        }
+        let r = self.inner.try_poissonized_counts(m, rng)?;
+        if self.used() > self.budget {
+            return Err(self.exhausted());
+        }
+        Ok(r)
+    }
+
+    fn tracer(&mut self) -> Option<&mut Tracer> {
+        self.inner.tracer()
     }
 }
 
@@ -379,6 +616,118 @@ mod tests {
         o.trace_enter(Stage::Sieve);
         o.trace_counter("x", Value::U64(1));
         o.trace_exit(); // must not panic despite no matching tracer state
+    }
+
+    #[test]
+    fn try_defaults_match_infallible_paths_and_streams() {
+        // For a plain oracle the try_* defaults must never fail and must
+        // consume the caller RNG identically to the infallible methods.
+        let mut rng1 = StdRng::seed_from_u64(23);
+        let mut a = DistOracle::new(d(&[0.3, 0.3, 0.4]));
+        let xs: Vec<usize> = (0..10).map(|_| a.draw(&mut rng1)).collect();
+        let ca = a.draw_counts(17, &mut rng1);
+        let pa = a.poissonized_counts(20.0, &mut rng1);
+
+        let mut rng2 = StdRng::seed_from_u64(23);
+        let mut b = DistOracle::new(d(&[0.3, 0.3, 0.4]));
+        let ys: Vec<usize> = (0..10).map(|_| b.try_draw(&mut rng2).unwrap()).collect();
+        let cb = b.try_draw_counts(17, &mut rng2).unwrap();
+        let pb = b.try_poissonized_counts(20.0, &mut rng2).unwrap();
+
+        assert_eq!(xs, ys);
+        assert_eq!(ca, cb);
+        assert_eq!(pa, pb);
+        assert_eq!(a.samples_drawn(), b.samples_drawn());
+    }
+
+    #[test]
+    fn mut_ref_is_an_oracle() {
+        let mut o = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(29);
+        fn takes_oracle<O: SampleOracle>(o: &mut O, rng: &mut StdRng) -> usize {
+            o.draw(rng)
+        }
+        takes_oracle(&mut (&mut o), &mut rng);
+        assert_eq!(o.samples_drawn(), 1);
+        assert_eq!((&mut o).n(), 2);
+    }
+
+    #[test]
+    fn budgeted_oracle_enforces_cap() {
+        let mut inner = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut o = BudgetedOracle::new(&mut inner, 10);
+        for _ in 0..10 {
+            o.try_draw(&mut rng).unwrap();
+        }
+        assert_eq!(o.used(), 10);
+        assert_eq!(o.remaining(), 0);
+        let err = o.try_draw(&mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            HistoError::OracleExhausted {
+                budget: 10,
+                drawn: 10
+            }
+        ));
+        // A refused draw consumes nothing.
+        assert_eq!(inner.samples_drawn(), 10);
+    }
+
+    #[test]
+    fn budgeted_oracle_batch_prechecks() {
+        let mut inner = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut o = BudgetedOracle::new(&mut inner, 50);
+        o.try_draw_counts(40, &mut rng).unwrap();
+        // 40 used: an 11-draw batch would exceed the cap, refuse up front.
+        assert!(o.try_draw_counts(11, &mut rng).is_err());
+        assert_eq!(o.used(), 40);
+        // But a 10-draw batch exactly fills it.
+        o.try_draw_counts(10, &mut rng).unwrap();
+        assert_eq!(o.remaining(), 0);
+    }
+
+    #[test]
+    fn budgeted_oracle_poissonized_overshoot_is_withheld_but_counted() {
+        let mut inner = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut o = BudgetedOracle::new(&mut inner, 5);
+        // Poisson(200) overshoots a budget of 5 essentially surely: the
+        // batch is refused, but its draws stay counted.
+        let r = o.try_poissonized_counts(200.0, &mut rng);
+        assert!(r.is_err());
+        assert!(inner.samples_drawn() > 5);
+    }
+
+    #[test]
+    fn budgeted_oracle_budget_starts_at_wrap_time() {
+        let mut inner = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(43);
+        inner.draw_counts(30, &mut rng);
+        let mut o = BudgetedOracle::new(&mut inner, 5);
+        assert_eq!(o.used(), 0);
+        o.try_draw_counts(5, &mut rng).unwrap();
+        assert!(o.try_draw(&mut rng).is_err());
+    }
+
+    #[test]
+    fn scoped_oracle_charges_refused_batches() {
+        // A Poissonized batch refused by an inner budget cap still consumed
+        // draws; the ledger must account for them (charged to the open
+        // stage), keeping the ledger invariant intact.
+        let mut base = DistOracle::new(d(&[0.5, 0.5]));
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut capped = BudgetedOracle::new(&mut base, 5);
+        let mut o = ScopedOracle::new(&mut capped, Box::new(histo_trace::NullSink));
+        o.trace_enter(Stage::Sieve);
+        assert!(o.try_poissonized_counts(200.0, &mut rng).is_err());
+        o.trace_exit();
+        let total = o.samples_drawn();
+        let ledger = o.finish();
+        assert!(total > 5);
+        assert_eq!(ledger.stage_total(Stage::Sieve), total);
+        assert_eq!(ledger.total(), total);
     }
 
     #[test]

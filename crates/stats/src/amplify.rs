@@ -6,6 +6,48 @@
 //! complexity." These helpers implement exactly that machinery: the number
 //! of repetitions needed for a target failure probability, the median of
 //! repeated real-valued statistics, and majority votes over binary repeats.
+//!
+//! Every helper comes in two flavors: a fallible `try_*` function returning
+//! [`StatsError`] on degenerate input (the API the resilient runtime uses,
+//! where "no votes collected" is an expected runtime condition rather than a
+//! programming error), and an infallible shim with the historical panicking
+//! contract kept for callers that validate inputs up front.
+
+use std::fmt;
+
+/// Errors from the fallible (`try_*`) amplification API.
+///
+/// `histo-core` converts this into `HistoError` (the workspace-wide error
+/// type) via `From`; the conversion lives in `histo-core` because this crate
+/// sits below it in the dependency order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// An aggregation (vote, median) was requested over an empty collection.
+    EmptyInput {
+        /// Name of the offending operation.
+        what: &'static str,
+    },
+    /// A parameter or input value was outside its documented range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { what } => write!(f, "{what} over empty input"),
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Number of independent repetitions of a (2/3)-correct test needed so that
 /// the majority vote is correct with probability at least `1 - delta`.
@@ -14,47 +56,95 @@
 /// `r >= 18 ln(1/delta)` suffices; we return the smallest odd such `r` (odd
 /// so the majority/median is unambiguous), and at least 1.
 ///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] unless `0 < delta < 1`.
+pub fn try_repetitions_for_confidence(delta: f64) -> Result<usize, StatsError> {
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "delta",
+            reason: format!("must be in (0,1), got {delta}"),
+        });
+    }
+    if delta >= 1.0 / 3.0 {
+        return Ok(1);
+    }
+    let r = (18.0 * (1.0 / delta).ln()).ceil() as usize;
+    Ok(if r.is_multiple_of(2) { r + 1 } else { r.max(1) })
+}
+
+/// Infallible shim over [`try_repetitions_for_confidence`].
+///
 /// # Panics
 ///
 /// Panics unless `0 < delta < 1`.
+#[doc(hidden)]
 pub fn repetitions_for_confidence(delta: f64) -> usize {
-    assert!(
-        delta > 0.0 && delta < 1.0,
-        "delta must be in (0,1), got {delta}"
-    );
-    if delta >= 1.0 / 3.0 {
-        return 1;
-    }
-    let r = (18.0 * (1.0 / delta).ln()).ceil() as usize;
-    if r.is_multiple_of(2) {
-        r + 1
-    } else {
-        r.max(1)
+    match try_repetitions_for_confidence(delta) {
+        Ok(r) => r,
+        Err(_) => panic!("delta must be in (0,1), got {delta}"),
     }
 }
 
 /// Majority vote over boolean outcomes. Ties (possible only for even input
 /// length) are broken toward `false`, the conservative "reject" outcome.
 ///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] on empty input.
+pub fn try_majority_vote(votes: &[bool]) -> Result<bool, StatsError> {
+    if votes.is_empty() {
+        return Err(StatsError::EmptyInput {
+            what: "majority_vote",
+        });
+    }
+    let yes = votes.iter().filter(|&&v| v).count();
+    Ok(2 * yes > votes.len())
+}
+
+/// Infallible shim over [`try_majority_vote`].
+///
 /// # Panics
 ///
 /// Panics on empty input.
+#[doc(hidden)]
 pub fn majority_vote(votes: &[bool]) -> bool {
-    assert!(!votes.is_empty(), "majority_vote over empty slice");
-    let yes = votes.iter().filter(|&&v| v).count();
-    2 * yes > votes.len()
+    try_majority_vote(votes).unwrap_or_else(|_| panic!("majority_vote over empty slice"))
 }
 
 /// Median of a slice of floats (the lower median for even lengths).
 ///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] on empty input and
+/// [`StatsError::InvalidParameter`] if any value is NaN.
+pub fn try_median(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { what: "median" });
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter {
+            name: "values",
+            reason: "median: NaN in input".to_string(),
+        });
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Ok(v[(v.len() - 1) / 2])
+}
+
+/// Infallible shim over [`try_median`].
+///
 /// # Panics
 ///
 /// Panics on empty input or if any value is NaN.
+#[doc(hidden)]
 pub fn median(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "median of empty slice");
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
-    v[(v.len() - 1) / 2]
+    match try_median(values) {
+        Ok(m) => m,
+        Err(StatsError::EmptyInput { .. }) => panic!("median of empty slice"),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Median-of-means estimator: split `values` into `groups` contiguous groups,
@@ -62,17 +152,23 @@ pub fn median(values: &[f64]) -> f64 {
 /// heavy-tail-robust mean estimator; used by the experiment harness when
 /// summarizing runtimes.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `groups == 0` or `values.len() < groups`.
-pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
-    assert!(groups > 0, "median_of_means: need at least one group");
-    assert!(
-        values.len() >= groups,
-        "median_of_means: {} values cannot fill {} groups",
-        values.len(),
-        groups
-    );
+/// Returns [`StatsError::InvalidParameter`] if `groups == 0` or
+/// `values.len() < groups`, and propagates [`try_median`] errors (NaN input).
+pub fn try_median_of_means(values: &[f64], groups: usize) -> Result<f64, StatsError> {
+    if groups == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "groups",
+            reason: "need at least one group".to_string(),
+        });
+    }
+    if values.len() < groups {
+        return Err(StatsError::InvalidParameter {
+            name: "values",
+            reason: format!("{} values cannot fill {} groups", values.len(), groups),
+        });
+    }
     let per = values.len() / groups;
     let means: Vec<f64> = (0..groups)
         .map(|g| {
@@ -80,7 +176,20 @@ pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
             chunk.iter().sum::<f64>() / chunk.len() as f64
         })
         .collect();
-    median(&means)
+    try_median(&means)
+}
+
+/// Infallible shim over [`try_median_of_means`].
+///
+/// # Panics
+///
+/// Panics if `groups == 0` or `values.len() < groups`.
+#[doc(hidden)]
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    match try_median_of_means(values, groups) {
+        Ok(m) => m,
+        Err(e) => panic!("median_of_means: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +261,45 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn median_empty_panics() {
         median(&[]);
+    }
+
+    #[test]
+    fn try_variants_agree_with_shims_on_valid_input() {
+        assert_eq!(try_majority_vote(&[true, true, false]), Ok(true));
+        assert_eq!(try_median(&[3.0, 1.0, 2.0]), Ok(2.0));
+        assert_eq!(
+            try_repetitions_for_confidence(0.01).unwrap(),
+            repetitions_for_confidence(0.01)
+        );
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(
+            try_median_of_means(&vals, 4).unwrap(),
+            median_of_means(&vals, 4)
+        );
+    }
+
+    #[test]
+    fn try_variants_report_degenerate_input() {
+        assert_eq!(
+            try_majority_vote(&[]),
+            Err(StatsError::EmptyInput {
+                what: "majority_vote"
+            })
+        );
+        assert_eq!(
+            try_median(&[]),
+            Err(StatsError::EmptyInput { what: "median" })
+        );
+        assert!(matches!(
+            try_median(&[1.0, f64::NAN]),
+            Err(StatsError::InvalidParameter { name: "values", .. })
+        ));
+        assert!(try_repetitions_for_confidence(0.0).is_err());
+        assert!(try_repetitions_for_confidence(1.0).is_err());
+        assert!(try_median_of_means(&[1.0], 2).is_err());
+        assert!(try_median_of_means(&[1.0], 0).is_err());
+        // The error type renders a human-readable message.
+        let msg = try_median(&[]).unwrap_err().to_string();
+        assert!(msg.contains("median"), "{msg}");
     }
 }

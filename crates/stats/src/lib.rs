@@ -28,7 +28,10 @@ pub mod poisson;
 pub mod special;
 pub mod summary;
 
-pub use amplify::{majority_vote, median, median_of_means, repetitions_for_confidence};
+pub use amplify::{
+    majority_vote, median, median_of_means, repetitions_for_confidence, try_majority_vote,
+    try_median, try_median_of_means, try_repetitions_for_confidence, StatsError,
+};
 pub use binomial::Binomial;
 pub use confidence::WilsonInterval;
 pub use poisson::Poisson;

@@ -235,9 +235,34 @@ impl ChiSquareTest {
     }
 
     /// Draws one Poissonized batch and returns the decision.
+    ///
+    /// Panics if the oracle fails (e.g. a budget cap); use
+    /// [`ChiSquareTest::try_run`] against fallible oracles.
     pub fn run(&self, oracle: &mut dyn SampleOracle, rng: &mut dyn RngCore) -> Decision {
+        self.try_run(oracle, rng)
+            .unwrap_or_else(|e| panic!("{e} (use try_run for graceful handling)"))
+    }
+
+    /// Fallible variant of [`ChiSquareTest::run`]: propagates oracle
+    /// failures such as [`HistoError::OracleExhausted`] instead of
+    /// panicking, closing the stage span before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the oracle's fallible draw path returns.
+    pub fn try_run(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<Decision, HistoError> {
         oracle.trace_enter(Stage::AdkTest);
-        let counts = oracle.poissonized_counts(self.m, rng);
+        let counts = match oracle.try_poissonized_counts(self.m, rng) {
+            Ok(c) => c,
+            Err(e) => {
+                oracle.trace_exit();
+                return Err(e);
+            }
+        };
         let z = z_statistics(
             &counts,
             &self.hypothesis,
@@ -249,27 +274,53 @@ impl ChiSquareTest {
         oracle.trace_counter("z_total", Value::F64(z.total));
         oracle.trace_counter("threshold", Value::F64(self.threshold()));
         oracle.trace_exit();
-        if z.total <= self.threshold() {
+        Ok(if z.total <= self.threshold() {
             Decision::Accept
         } else {
             Decision::Reject
-        }
+        })
     }
 
     /// Median-amplified run: repeats the statistic `reps` times on fresh
     /// batches and thresholds the median of the totals — the standard
     /// amplification of Section 3.2.1.
+    ///
+    /// Panics if the oracle fails; use [`ChiSquareTest::try_run_amplified`]
+    /// against fallible oracles.
     pub fn run_amplified(
         &self,
         oracle: &mut dyn SampleOracle,
         reps: usize,
         rng: &mut dyn RngCore,
     ) -> Decision {
+        self.try_run_amplified(oracle, reps, rng)
+            .unwrap_or_else(|e| panic!("{e} (use try_run_amplified for graceful handling)"))
+    }
+
+    /// Fallible variant of [`ChiSquareTest::run_amplified`].
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the oracle's fallible draw path returns, closing
+    /// the stage span before returning.
+    pub fn try_run_amplified(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        reps: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Decision, HistoError> {
         let reps = reps.max(1);
         oracle.trace_enter(Stage::AdkTest);
-        let totals: Vec<f64> = (0..reps)
-            .map(|_| {
-                let counts = oracle.poissonized_counts(self.m, rng);
+        let mut totals: Vec<f64> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let counts = match oracle.try_poissonized_counts(self.m, rng) {
+                Ok(c) => c,
+                Err(e) => {
+                    oracle.trace_exit();
+                    return Err(e);
+                }
+            };
+            totals.push(
                 z_statistics(
                     &counts,
                     &self.hypothesis,
@@ -278,19 +329,19 @@ impl ChiSquareTest {
                     self.aeps_cutoff,
                 )
                 .expect("parameters validated at construction")
-                .total
-            })
-            .collect();
-        let z_median = histo_stats::median(&totals);
+                .total,
+            );
+        }
+        let z_median = histo_stats::try_median(&totals).expect("reps >= 1 batches");
         oracle.trace_counter("reps", Value::U64(reps as u64));
         oracle.trace_counter("z_total", Value::F64(z_median));
         oracle.trace_counter("threshold", Value::F64(self.threshold()));
         oracle.trace_exit();
-        if z_median <= self.threshold() {
+        Ok(if z_median <= self.threshold() {
             Decision::Accept
         } else {
             Decision::Reject
-        }
+        })
     }
 }
 

@@ -54,7 +54,9 @@ impl AgnosticLearner {
     ///
     /// # Errors
     ///
-    /// Returns [`HistoError::InvalidParameter`] for invalid `k`/`epsilon`.
+    /// Returns [`HistoError::InvalidParameter`] for invalid `k`/`epsilon`
+    /// and propagates [`HistoError::OracleExhausted`] from budget-capped
+    /// oracles.
     pub fn learn(
         &self,
         oracle: &mut dyn SampleOracle,
@@ -65,7 +67,7 @@ impl AgnosticLearner {
         let n = oracle.n();
         crate::validate_params(n, k, epsilon)?;
         let m = self.samples(k, epsilon);
-        let counts = oracle.draw_counts(m, rng);
+        let counts = oracle.try_draw_counts(m, rng)?;
 
         // Adaptive partition on the SAME sample (standard for the simple
         // agnostic learner; the DP below only sees cell totals).

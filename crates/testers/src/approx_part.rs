@@ -45,7 +45,10 @@ pub struct ApproxPartOutput {
 ///
 /// # Errors
 ///
-/// Returns [`HistoError::InvalidParameter`] if `b < 1` or `samples == 0`.
+/// Returns [`HistoError::InvalidParameter`] if `b < 1` or `samples == 0`,
+/// and propagates [`HistoError::OracleExhausted`] from budget-capped
+/// oracles (the stage span is closed before returning, so the trace stays
+/// balanced).
 pub fn approx_part(
     oracle: &mut dyn SampleOracle,
     b: f64,
@@ -66,7 +69,13 @@ pub fn approx_part(
     }
     let n = oracle.n();
     oracle.trace_enter(Stage::ApproxPart);
-    let counts: SampleCounts = oracle.draw_counts(samples, rng);
+    let counts: SampleCounts = match oracle.try_draw_counts(samples, rng) {
+        Ok(c) => c,
+        Err(e) => {
+            oracle.trace_exit();
+            return Err(e);
+        }
+    };
     let out = partition_from_counts(n, &counts, b);
     oracle.trace_counter("b", Value::F64(b));
     oracle.trace_counter("partition_size", Value::U64(out.partition.len() as u64));

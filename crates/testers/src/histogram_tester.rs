@@ -19,10 +19,11 @@ use crate::learner::learn;
 use crate::sieve::{sieve, SieveOutcome};
 use crate::{validate_params, Decision, Tester};
 use histo_core::dp::check_close_to_hk;
-use histo_core::KHistogram;
+use histo_core::{HistoError, KHistogram};
 use histo_sampling::oracle::SampleOracle;
 use histo_trace::{Stage, Value};
 use rand::RngCore;
+use std::fmt;
 
 /// Stage toggles for ablation studies (experiment A1): disabling a stage
 /// shows what it buys. Defaults to everything enabled.
@@ -56,6 +57,31 @@ impl Default for Ablation {
 pub struct HistogramTester {
     config: TesterConfig,
     ablation: Ablation,
+}
+
+/// A pipeline failure attributed to the stage it occurred in, as returned
+/// by [`HistogramTester::try_test_traced`]. The resilient runtime
+/// (`crate::robust`) uses the attribution to report *where* a budget ran
+/// out or a parameter check failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageError {
+    /// Stable stage name — matches [`Stage::name`] for the five pipeline
+    /// stages, or `"params"` for up-front parameter validation.
+    pub stage: &'static str,
+    /// The underlying error.
+    pub error: HistoError,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {}: {}", self.stage, self.error)
+    }
+}
+
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// A trace of one run of Algorithm 1, for the experiment harness and
@@ -110,7 +136,9 @@ impl HistogramTester {
     ///
     /// # Errors
     ///
-    /// Propagates parameter-validation errors.
+    /// Propagates parameter-validation errors and oracle failures
+    /// (stripping the stage attribution of
+    /// [`HistogramTester::try_test_traced`]).
     pub fn test_traced(
         &self,
         oracle: &mut dyn SampleOracle,
@@ -118,25 +146,52 @@ impl HistogramTester {
         epsilon: f64,
         rng: &mut dyn RngCore,
     ) -> histo_core::Result<TesterTrace> {
+        self.try_test_traced(oracle, k, epsilon, rng)
+            .map_err(|e| e.error)
+    }
+
+    /// Runs the algorithm with stage-attributed errors: every failure —
+    /// parameter validation, a budget-capped oracle refusing a draw
+    /// ([`HistoError::OracleExhausted`]), a degenerate statistic — is
+    /// tagged with the pipeline stage it occurred in. Identical to
+    /// [`HistogramTester::test_traced`] in every other respect (same draw
+    /// order, same RNG consumption, same trace events).
+    ///
+    /// All five subroutines use the oracle's fallible `try_*` draw path
+    /// and close their stage spans before propagating an error, so an
+    /// attached tracer stays span-balanced across failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StageError`] naming the failing stage.
+    pub fn try_test_traced(
+        &self,
+        oracle: &mut dyn SampleOracle,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<TesterTrace, StageError> {
+        let at = |stage: &'static str| move |error: HistoError| StageError { stage, error };
         let n = oracle.n();
-        validate_params(n, k, epsilon)?;
+        validate_params(n, k, epsilon).map_err(at("params"))?;
         let start = oracle.samples_drawn();
         let cfg = &self.config;
 
         // Steps 1–3: ApproxPart.
         let b = cfg.b(k, epsilon).max(1.0);
         let ap_samples = cfg.approx_part_samples(b);
-        let ap = approx_part(oracle, b, ap_samples, rng)?;
+        let ap = approx_part(oracle, b, ap_samples, rng).map_err(at(Stage::ApproxPart.name()))?;
         let partition_size = ap.partition.len();
 
         // Step 4: Learner.
         let eps_learn = epsilon / cfg.learner_eps_divisor;
         let m_learn = cfg.learner_samples(partition_size, eps_learn);
-        let d_hat = learn(oracle, &ap.partition, m_learn, rng)?;
+        let d_hat =
+            learn(oracle, &ap.partition, m_learn, rng).map_err(at(Stage::Learner.name()))?;
 
         // Steps 6–8: Sieve (skippable for ablation).
         let sieve_out = if self.ablation.sieve {
-            sieve(oracle, &d_hat, k, epsilon, cfg, rng)?
+            sieve(oracle, &d_hat, k, epsilon, cfg, rng).map_err(at(Stage::Sieve.name()))?
         } else {
             crate::sieve::SieveOutcome {
                 rejected: false,
@@ -176,7 +231,7 @@ impl HistogramTester {
             oracle.trace_counter("check_ok", Value::Bool(*ok));
         }
         oracle.trace_exit();
-        if !check_res? {
+        if !check_res.map_err(at(Stage::Check.name()))? {
             oracle.trace_counter("decided_by", Value::Str("check"));
             oracle.trace_counter("accepted", Value::Bool(false));
             return Ok(TesterTrace {
@@ -195,8 +250,11 @@ impl HistogramTester {
         if !self.ablation.aeps_cutoff {
             cfg_final.aeps_fraction = 0.0;
         }
-        let chi2 = ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)?;
-        let decision = chi2.run(oracle, rng);
+        let chi2 = ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)
+            .map_err(at(Stage::AdkTest.name()))?;
+        let decision = chi2
+            .try_run(oracle, rng)
+            .map_err(at(Stage::AdkTest.name()))?;
         oracle.trace_counter(
             "decided_by",
             Value::Str(if decision.accepted() {

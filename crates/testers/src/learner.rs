@@ -26,7 +26,9 @@ use rand::RngCore;
 /// # Errors
 ///
 /// Returns [`HistoError::InvalidParameter`] if `m == 0` or the oracle's
-/// domain does not match the partition.
+/// domain does not match the partition, and propagates
+/// [`HistoError::OracleExhausted`] from budget-capped oracles (the stage
+/// span is closed before returning).
 pub fn learn(
     oracle: &mut dyn SampleOracle,
     partition: &Partition,
@@ -46,7 +48,13 @@ pub fn learn(
         });
     }
     oracle.trace_enter(Stage::Learner);
-    let counts = oracle.draw_counts(m, rng);
+    let counts = match oracle.try_draw_counts(m, rng) {
+        Ok(c) => c,
+        Err(e) => {
+            oracle.trace_exit();
+            return Err(e);
+        }
+    };
     let hypothesis = counts
         .interval_counts(partition)
         .and_then(|ic| hypothesis_from_interval_counts(partition, &ic, m));

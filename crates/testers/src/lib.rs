@@ -41,6 +41,14 @@
 //!   introduction pairs with the tester (find k̂ by testing, then learn the
 //!   sketch with `O(k/ε³)` samples).
 //!
+//! ## Resilient runtime
+//!
+//! - [`robust`] — [`robust::RobustRunner`] wraps the tester with hard
+//!   sample-budget enforcement, deterministic retry-with-amplification,
+//!   and per-stage panic isolation, degrading gracefully to a structured
+//!   [`robust::Outcome::Inconclusive`] instead of panicking or silently
+//!   returning a coin flip.
+//!
 //! All testers implement [`Tester`]; they interact with the unknown
 //! distribution only through a counting [`SampleOracle`], so every
 //! experiment reports *measured* sample complexity.
@@ -54,6 +62,7 @@ pub mod fixed_partition;
 pub mod histogram_tester;
 pub mod learner;
 pub mod model_selection;
+pub mod robust;
 pub mod sieve;
 pub mod uniformity;
 

@@ -16,7 +16,7 @@
 
 use crate::{Decision, Tester};
 use histo_sampling::oracle::SampleOracle;
-use histo_stats::majority_vote;
+use histo_stats::try_majority_vote;
 use histo_trace::{Stage, Value};
 use rand::RngCore;
 
@@ -79,7 +79,7 @@ fn doubling_search_inner(
         let vs: histo_core::Result<Vec<bool>> = (0..votes.max(1))
             .map(|_| Ok(tester.test(oracle, k, epsilon, rng)? == Decision::Accept))
             .collect();
-        let accepted = majority_vote(&vs?);
+        let accepted = try_majority_vote(&vs?)?;
         trials.push((k, accepted));
         Ok(accepted)
     };

@@ -25,7 +25,7 @@ use crate::adk::z_statistics;
 use crate::config::TesterConfig;
 use histo_core::{HistoError, KHistogram};
 use histo_sampling::oracle::SampleOracle;
-use histo_stats::{median, repetitions_for_confidence};
+use histo_stats::{repetitions_for_confidence, try_median};
 use histo_trace::{Stage, Value};
 use rand::RngCore;
 
@@ -67,7 +67,7 @@ fn amplified_z(
     let reps = reps.max(1);
     let mut samples: Vec<Vec<f64>> = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let counts = oracle.poissonized_counts(m, rng);
+        let counts = oracle.try_poissonized_counts(m, rng)?;
         let z = z_statistics(&counts, hyp, indices, m, aeps_cutoff)?;
         samples.push(z.per_interval);
     }
@@ -77,7 +77,7 @@ fn amplified_z(
     let mut out = Vec::with_capacity(indices.len());
     for j in 0..indices.len() {
         let vals: Vec<f64> = samples.iter().map(|s| s[j]).collect();
-        out.push(median(&vals));
+        out.push(try_median(&vals)?);
     }
     Ok(out)
 }
@@ -93,7 +93,9 @@ fn amplified_z(
 ///
 /// # Errors
 ///
-/// Propagates parameter-validation errors from the statistic computation.
+/// Propagates parameter-validation errors from the statistic computation
+/// and [`HistoError::OracleExhausted`] from budget-capped oracles (the
+/// stage span is closed before returning either way).
 pub fn sieve(
     oracle: &mut dyn SampleOracle,
     hyp: &KHistogram,

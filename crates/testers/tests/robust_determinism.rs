@@ -1,0 +1,153 @@
+//! Robust-runtime determinism suite.
+//!
+//! The acceptance bar for the resilient runtime is *exact* transparency:
+//! with `FaultPlan::none()`, the `FaultyOracle` + `RobustRunner` stack
+//! must reproduce the bare `HistogramTester` bitwise — same decision,
+//! same draw count, same per-stage sample ledger, same timing-free trace
+//! bytes — and stay that way across `FEWBINS_THREADS ∈ {1, 2, 4}`. And a
+//! budget cap far below the tester's requirement must degrade to a
+//! structured `Inconclusive`, never a panic or a silent coin flip.
+//!
+//! Everything runs inside a single `#[test]` so the `FEWBINS_THREADS`
+//! mutations cannot race with other tests in this binary.
+
+use histo_faults::{FaultPlan, FaultyOracle};
+use histo_sampling::generators::staircase;
+use histo_sampling::{DistOracle, SampleOracle, ScopedOracle};
+use histo_testers::histogram_tester::HistogramTester;
+use histo_testers::robust::{InconclusiveReason, Outcome, RobustRunner};
+use histo_trace::{JsonlSink, SampleLedger, SharedBuffer, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(accept_side: bool) -> histo_core::Distribution {
+    if accept_side {
+        staircase(600, 3).unwrap().to_distribution().unwrap()
+    } else {
+        histo_core::Distribution::from_weights(
+            (0..600)
+                .map(|i| if i % 7 == 0 { 5.0 } else { 1.0 })
+                .collect(),
+        )
+        .unwrap()
+    }
+}
+
+/// (accepted, draws, per-stage ledger, rendered trace bytes).
+type Fingerprint = (bool, u64, SampleLedger, Vec<u8>);
+
+/// The bare tester on the fixed instance/seed.
+fn plain_run(accept_side: bool) -> Fingerprint {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut inner = DistOracle::new(instance(accept_side)).with_fast_poissonization();
+    let buf = SharedBuffer::new();
+    let tracer = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+    let mut oracle = ScopedOracle::with_tracer(&mut inner, tracer);
+    let trace = HistogramTester::practical()
+        .test_traced(&mut oracle, 3, 0.3, &mut rng)
+        .unwrap();
+    let drawn = oracle.samples_drawn();
+    let ledger = oracle.finish();
+    (trace.decision.accepted(), drawn, ledger, buf.contents())
+}
+
+/// The full resilient stack — `FaultyOracle(FaultPlan::none())` over a
+/// traced oracle, driven by `RobustRunner` at default settings — on the
+/// same instance/seed.
+fn robust_run(accept_side: bool) -> Fingerprint {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut inner = DistOracle::new(instance(accept_side)).with_fast_poissonization();
+    let buf = SharedBuffer::new();
+    let tracer = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+    let scoped = ScopedOracle::with_tracer(&mut inner, tracer);
+    let mut oracle = FaultyOracle::new(scoped, FaultPlan::none());
+    let outcome = RobustRunner::new(HistogramTester::practical())
+        .run(&mut oracle, 3, 0.3, &mut rng)
+        .unwrap();
+    let decision = outcome
+        .decision()
+        .expect("fault-free run must be conclusive");
+    assert_eq!(
+        oracle.counters().total(),
+        0,
+        "no faults may fire under none()"
+    );
+    let drawn = oracle.samples_drawn();
+    let ledger = oracle.into_inner().finish();
+    (decision.accepted(), drawn, ledger, buf.contents())
+}
+
+#[test]
+fn robust_stack_is_transparent_and_thread_count_invariant() {
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FEWBINS_THREADS", threads);
+        for accept_side in [true, false] {
+            let plain = plain_run(accept_side);
+            let robust = robust_run(accept_side);
+            assert_eq!(
+                robust, plain,
+                "robust stack diverged from bare tester \
+                 (accept_side={accept_side}, FEWBINS_THREADS={threads})"
+            );
+            runs.push((threads, accept_side, plain));
+        }
+    }
+    std::env::remove_var("FEWBINS_THREADS");
+
+    // Cross-thread-count invariance of the (shared) fingerprints.
+    let base: Vec<_> = runs.iter().filter(|r| r.0 == "1").collect();
+    for (threads, accept_side, fp) in &runs {
+        let b = base
+            .iter()
+            .find(|r| r.1 == *accept_side)
+            .expect("baseline run present");
+        assert_eq!(
+            fp, &b.2,
+            "run diverged across thread counts \
+             (accept_side={accept_side}, FEWBINS_THREADS={threads})"
+        );
+    }
+    // The two sides genuinely exercise both decision paths.
+    assert!(base.iter().any(|r| r.1 && r.2 .0));
+    assert!(base.iter().any(|r| !r.1 && !r.2 .0));
+
+    // Starved budget: far below the Theorem 1.1 requirement, the runner
+    // must come back Inconclusive with the budget reason and the failing
+    // stage — not panic, not guess.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut inner = DistOracle::new(instance(true)).with_fast_poissonization();
+    let scoped = ScopedOracle::with_tracer(&mut inner, Tracer::default().without_timing());
+    let mut oracle = FaultyOracle::new(scoped, FaultPlan::none());
+    let outcome = RobustRunner::new(HistogramTester::practical())
+        .with_budget(100)
+        .run(&mut oracle, 3, 0.3, &mut rng)
+        .unwrap();
+    match outcome {
+        Outcome::Inconclusive { reason, stage, .. } => {
+            assert!(
+                matches!(
+                    reason,
+                    InconclusiveReason::BudgetExhausted { budget: 100, .. }
+                ),
+                "unexpected reason: {reason:?}"
+            );
+            assert_eq!(stage, Some("approx_part"));
+        }
+        other => panic!("expected Inconclusive under a starved budget, got {other:?}"),
+    }
+    // A plan-level budget (enforced inside the fault layer rather than by
+    // the runner) degrades the same way.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut inner = DistOracle::new(instance(true)).with_fast_poissonization();
+    let scoped = ScopedOracle::with_tracer(&mut inner, Tracer::default().without_timing());
+    let mut oracle = FaultyOracle::new(scoped, FaultPlan::none().with_budget(100));
+    let outcome = RobustRunner::new(HistogramTester::practical())
+        .run(&mut oracle, 3, 0.3, &mut rng)
+        .unwrap();
+    assert!(
+        !outcome.is_conclusive(),
+        "plan budget must degrade gracefully, got {outcome:?}"
+    );
+    assert!(oracle.counters().budget_hits > 0);
+}

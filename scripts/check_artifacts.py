@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
-"""Validates every results/*.json artifact parses and has the report shape."""
+"""Validates every results/*.json artifact parses and has the report shape,
+and that the full experiment set (T1-T14, A1-A2, F1-F3) is present."""
 import json, glob, sys
 
+REQUIRED = {f"T{i}" for i in range(1, 15)} | {"A1", "A2", "F1", "F2", "F3"}
+
 ok = True
+seen = set()
 for f in sorted(glob.glob("results/*.json")):
     try:
         r = json.load(open(f))
@@ -11,8 +15,13 @@ for f in sorted(glob.glob("results/*.json")):
         for t in r["tables"]:
             w = len(t["headers"])
             assert all(len(row) == w for row in t["rows"]), "ragged table"
+        seen.add(r["id"])
         print(f"ok {f}: {r['id']} — {len(r['tables'])} table(s), {sum(len(t['rows']) for t in r['tables'])} rows")
     except Exception as e:
         ok = False
         print(f"BAD {f}: {e}")
+missing = sorted(REQUIRED - seen)
+if missing:
+    ok = False
+    print(f"BAD results/: missing required artifacts {missing}")
 sys.exit(0 if ok else 1)

@@ -9,7 +9,12 @@ Checks, per trace file:
   4. the ledger footer is present, its per-stage rows equal the sum of
      exit samples per stage, and stage totals + unattributed equal the
      grand total — the ScopedOracle ledger invariant, re-verified from
-     the serialized stream alone.
+     the serialized stream alone;
+  5. if fault-injection counters (`fault_*`, emitted by the histo-faults
+     layer) appear, the whole family must be present, `fault_events_total`
+     must equal the sum of the five per-kind counters, and
+     `fault_returned_draws` must reconcile with the ledger total
+     (returned = consumed - dropped + duplicated).
 
 Usage: scripts/check_trace.py trace.jsonl [more.jsonl ...]
 Exits non-zero on the first malformed file (after printing all findings).
@@ -20,10 +25,21 @@ import sys
 KINDS = {"enter", "exit", "counter", "ledger", "ledger_total"}
 
 
+FAULT_KINDS = [
+    "fault_events_contaminated",
+    "fault_events_duplicated",
+    "fault_events_dropped",
+    "fault_events_stalled",
+    "fault_events_budget_hits",
+]
+FAULT_FAMILY = FAULT_KINDS + ["fault_events_total", "fault_returned_draws"]
+
+
 def check(path):
     errors = []
     stack = []  # stage names of open spans
     exit_samples = {}  # stage -> summed exclusive exit samples
+    counters = {}  # counter name -> last value
     ledger_rows = {}
     ledger_total = None
     last_seq = -1
@@ -61,6 +77,8 @@ def check(path):
                 if ev["depth"] != len(stack):
                     errors.append(f"line {lineno}: exit depth {ev['depth']} != stack {len(stack)}")
                 exit_samples[ev["stage"]] = exit_samples.get(ev["stage"], 0) + ev["samples"]
+            elif kind == "counter":
+                counters[ev["name"]] = ev["value"]
             elif kind == "ledger":
                 ledger_rows[ev["stage"]] = ev["samples"]
             elif kind == "ledger_total":
@@ -84,6 +102,33 @@ def check(path):
             errors.append(f"exit-sample sums {nonzero_exits} != ledger rows {ledger_rows}")
         if sum(exit_samples.values()) + unattributed != total:
             errors.append("sum of exit samples + unattributed != ledger total")
+    fault = {k: v for k, v in counters.items() if k.startswith("fault_")}
+    if fault:
+        missing = [k for k in FAULT_FAMILY if k not in fault]
+        unknown = [k for k in fault if k not in FAULT_FAMILY]
+        if missing:
+            errors.append(f"fault counter family incomplete, missing {missing}")
+        if unknown:
+            errors.append(f"unknown fault counters {unknown}")
+        if not missing:
+            kinds_sum = sum(fault[k] for k in FAULT_KINDS)
+            if fault["fault_events_total"] != kinds_sum:
+                errors.append(
+                    f"fault_events_total {fault['fault_events_total']} != "
+                    f"sum of kinds {kinds_sum}"
+                )
+            if ledger_total is not None:
+                total, _ = ledger_total
+                expect = (
+                    total
+                    - fault["fault_events_dropped"]
+                    + fault["fault_events_duplicated"]
+                )
+                if fault["fault_returned_draws"] != expect:
+                    errors.append(
+                        f"fault_returned_draws {fault['fault_returned_draws']} != "
+                        f"ledger total {total} - dropped + duplicated = {expect}"
+                    )
     for e in errors:
         print(f"BAD {path}: {e}")
     if not errors:

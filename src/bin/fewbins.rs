@@ -11,21 +11,70 @@
 //! 0-based sample indices from a file (or stdin with `-`); `certify` reads
 //! whitespace-separated non-negative weights (one per domain element).
 //!
+//! Resilience flags (see `docs/ROBUSTNESS.md`): `--faults SPEC` injects a
+//! deterministic fault schedule into the oracle, `--max-samples B` caps the
+//! total draw budget, and `--retries R` amplifies `test` by majority vote
+//! over `R` rounds. Any of these switches `test` onto the resilient
+//! runtime, which reports `INCONCLUSIVE` (exit code 5) instead of guessing
+//! when the run cannot finish honestly.
+//!
+//! Exit codes: `0` ok · `1` internal error · `2` usage error · `3` bad
+//! input data · `4` samples exhausted (dataset or budget) · `5`
+//! inconclusive.
+//!
 //! Examples:
 //!
 //! ```sh
 //! fewbins test    --n 1000 --k 4 --eps 0.25 --scale 0.2 samples.txt
+//! fewbins test    --k 4 --faults eta=0.1,adv=point:0,seed=7 --retries 3 samples.txt
 //! fewbins select-k --n 1000 --eps 0.2 samples.txt
 //! fewbins certify --k 3 pmf.txt
 //! fewbins sketch  --n 1000 --k 4 --eps 0.1 samples.txt
 //! ```
 
+use few_bins::core::empirical::SampleCounts;
 use few_bins::prelude::*;
-use few_bins::testers::agnostic::AgnosticLearner;
+use few_bins::stats::Poisson;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::io::Read;
 use std::process::ExitCode;
+
+/// A CLI failure with its exit code: `2` usage, `3` input data, `4`
+/// samples exhausted, `5` inconclusive (internal panics exit `1`).
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        Self {
+            code: 2,
+            msg: msg.into(),
+        }
+    }
+
+    fn input(msg: impl Into<String>) -> Self {
+        Self {
+            code: 3,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<HistoError> for CliError {
+    fn from(e: HistoError) -> Self {
+        let code = match &e {
+            HistoError::OracleExhausted { .. } => 4,
+            _ => 3,
+        };
+        Self {
+            code,
+            msg: e.to_string(),
+        }
+    }
+}
 
 /// Replay oracle over a recorded dataset.
 ///
@@ -37,8 +86,8 @@ use std::process::ExitCode;
 ///   printed otherwise: a small dataset's empirical distribution is a
 ///   noisy non-histogram even when the source is one);
 /// - **no-resample** (`--no-resample`): consumes each recorded sample
-///   exactly once in random order (true i.i.d. semantics) and aborts with
-///   a clear error when the dataset is exhausted.
+///   exactly once in random order (true i.i.d. semantics) and fails with a
+///   typed `OracleExhausted` error when the dataset runs out.
 struct ReplayOracle {
     samples: Vec<usize>,
     n: usize,
@@ -86,6 +135,36 @@ impl few_bins::sampling::oracle::SampleOracle for ReplayOracle {
     fn samples_drawn(&self) -> u64 {
         self.drawn
     }
+    fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        if !self.resample && self.pos >= self.samples.len() {
+            return Err(HistoError::OracleExhausted {
+                budget: self.samples.len() as u64,
+                drawn: self.drawn,
+            });
+        }
+        Ok(self.draw(rng))
+    }
+    fn try_draw_counts(
+        &mut self,
+        m: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        let mut counts = vec![0u64; self.n];
+        for _ in 0..m {
+            counts[self.try_draw(rng)?] += 1;
+        }
+        Ok(SampleCounts::from_counts(counts).expect("n >= 1"))
+    }
+    fn try_poissonized_counts(
+        &mut self,
+        m: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<SampleCounts, HistoError> {
+        // Same draw sequence as the infallible default (Poisson batch size,
+        // then literal draws), but failing gracefully on exhaustion.
+        let m_prime = Poisson::new(m).sample(rng);
+        self.try_draw_counts(m_prime, rng)
+    }
 }
 
 /// Rough estimate of the tester's total draw count for one run, from the
@@ -103,22 +182,23 @@ fn estimate_budget(config: &TesterConfig, n: usize, k: usize, eps: f64) -> u64 {
     ap + learner + (rounds * m_sieve) as u64 + m_test as u64
 }
 
-/// Runs `body` against `oracle`, optionally wrapped in a tracing
-/// [`ScopedOracle`] that writes stage spans and the sample ledger as JSON
-/// Lines to `trace_path`. The per-stage summary goes to stderr so stdout
-/// stays machine-readable.
-fn with_optional_trace<T>(
-    oracle: &mut dyn SampleOracle,
-    trace_path: &Option<String>,
-    body: impl FnOnce(&mut dyn SampleOracle) -> Result<T, String>,
-) -> Result<T, String> {
-    let Some(path) = trace_path else {
-        return body(oracle);
-    };
-    let sink = JsonlSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-    let mut scoped = ScopedOracle::new(oracle, Box::new(sink));
-    let result = body(&mut scoped);
-    let ledger = scoped.finish();
+/// Prints the fault-injection summary to stderr (stdout stays
+/// machine-readable).
+fn report_faults(c: FaultCounters) {
+    eprintln!(
+        "fewbins: faults injected: {} contaminated, {} duplicated, {} dropped, \
+         {} stalled, {} budget hits ({} events total)",
+        c.contaminated,
+        c.duplicated,
+        c.dropped,
+        c.stalled,
+        c.budget_hits,
+        c.total()
+    );
+}
+
+/// Prints the per-stage sample ledger to stderr.
+fn report_ledger(path: &str, ledger: &SampleLedger) {
     eprintln!("fewbins: trace written to {path}; samples by stage:");
     for (stage, samples) in ledger.entries() {
         eprintln!("fewbins:   {:>16}  {samples}", stage.name());
@@ -129,7 +209,47 @@ fn with_optional_trace<T>(
         ledger.unattributed(),
         ledger.total()
     );
-    result
+}
+
+/// Runs `body` against `oracle` under the requested oracle stack: an
+/// optional tracing [`ScopedOracle`] (JSONL spans + sample ledger to
+/// `trace_path`) and an optional [`FaultyOracle`] running `plan`. The
+/// fault layer wraps the tracer, so injected fault counters are emitted
+/// into the trace stream and audited by `scripts/check_trace.py`.
+fn with_stack<T>(
+    oracle: &mut dyn SampleOracle,
+    trace_path: &Option<String>,
+    plan: &Option<FaultPlan>,
+    body: impl FnOnce(&mut dyn SampleOracle) -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    match (trace_path, plan) {
+        (None, None) => body(oracle),
+        (None, Some(plan)) => {
+            let mut faulty = FaultyOracle::new(oracle, plan.clone());
+            let result = body(&mut faulty);
+            report_faults(faulty.counters());
+            result
+        }
+        (Some(path), None) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| CliError::input(format!("creating {path}: {e}")))?;
+            let mut scoped = ScopedOracle::new(oracle, Box::new(sink));
+            let result = body(&mut scoped);
+            report_ledger(path, &scoped.finish());
+            result
+        }
+        (Some(path), Some(plan)) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| CliError::input(format!("creating {path}: {e}")))?;
+            let scoped = ScopedOracle::new(oracle, Box::new(sink));
+            let mut faulty = FaultyOracle::new(scoped, plan.clone());
+            let result = body(&mut faulty);
+            faulty.emit_counters();
+            report_faults(faulty.counters());
+            report_ledger(path, &faulty.into_inner().finish());
+            result
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -142,6 +262,9 @@ struct Args {
     scale: f64,
     no_resample: bool,
     trace: Option<String>,
+    faults: Option<String>,
+    max_samples: Option<u64>,
+    retries: usize,
     file: Option<String>,
 }
 
@@ -155,6 +278,7 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
         seed: 160,
         max_k: 256,
         scale: 1.0,
+        retries: 1,
         ..Default::default()
     };
     while let Some(a) = it.next() {
@@ -187,6 +311,22 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             }
             "--no-resample" => args.no_resample = true,
             "--trace" => args.trace = Some(take("--trace")?),
+            "--faults" => args.faults = Some(take("--faults")?),
+            "--max-samples" => {
+                args.max_samples = Some(
+                    take("--max-samples")?
+                        .parse()
+                        .map_err(|e| format!("--max-samples: {e}"))?,
+                )
+            }
+            "--retries" => {
+                args.retries = take("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+                if args.retries == 0 {
+                    return Err("--retries must be at least 1".into());
+                }
+            }
             other if !other.starts_with("--") => args.file = Some(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -228,22 +368,53 @@ fn read_samples(args: &Args) -> Result<(Vec<usize>, usize), String> {
     Ok((samples, n))
 }
 
-fn run() -> Result<(), String> {
+/// The fault plan for subcommands without a retry loop: `--max-samples`
+/// folds into the plan's budget (taking the tighter of the two caps).
+fn fold_budget(plan: Option<FaultPlan>, max_samples: Option<u64>) -> Option<FaultPlan> {
+    match (plan, max_samples) {
+        (plan, None) => plan,
+        (None, Some(cap)) => Some(FaultPlan::none().with_budget(cap)),
+        (Some(mut plan), Some(cap)) => {
+            plan.budget = Some(plan.budget.map_or(cap, |b| b.min(cap)));
+            Some(plan)
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
         eprintln!(
-            "usage: fewbins <test|select-k|certify|sketch> [--n N] [--k K] [--eps E] \
-             [--seed S] [--max-k M] [--trace out.jsonl] [file|-]"
+            "usage: fewbins <test|select-k|certify|sketch> [--n N] [--k K] [--eps E]\n\
+             \x20      [--seed S] [--max-k M] [--scale F] [--no-resample]\n\
+             \x20      [--trace out.jsonl] [--faults SPEC] [--max-samples B] [--retries R]\n\
+             \x20      [file|-]\n\
+             \n\
+             fault spec: comma-separated key=value pairs (or `none`), e.g.\n\
+             \x20      eta=0.1,adv=point:0,budget=50000,dup=0.01,drop=0.02,stall=5x100,seed=9\n\
+             \n\
+             exit codes: 0 ok; 1 internal error; 2 usage; 3 bad input data;\n\
+             \x20      4 samples exhausted (dataset or budget); 5 inconclusive"
         );
         return Ok(());
     }
-    let (cmd, args) = parse_args(&argv)?;
+    let (cmd, args) = parse_args(&argv).map_err(CliError::usage)?;
+    let plan = args
+        .faults
+        .as_deref()
+        .map(FaultPlan::parse)
+        .transpose()
+        .map_err(|e| CliError::usage(format!("--faults: {e}")))?;
     let mut rng = StdRng::seed_from_u64(args.seed);
+
+    if args.retries > 1 && cmd != "test" {
+        eprintln!("fewbins: warning: --retries only applies to `test`; ignored");
+    }
 
     match cmd.as_str() {
         "test" => {
-            let (samples, n) = read_samples(&args)?;
-            let k = args.k.ok_or("test requires --k")?;
+            let (samples, n) = read_samples(&args).map_err(CliError::input)?;
+            let k = args.k.ok_or_else(|| CliError::usage("test requires --k"))?;
             let eps = args.eps.unwrap_or(0.25);
             let config = TesterConfig::practical().scaled(args.scale);
             let needed = estimate_budget(&config, n, k, eps);
@@ -253,7 +424,7 @@ fn run() -> Result<(), String> {
                      {}",
                     samples.len(),
                     if args.no_resample {
-                        "this run will abort when the data runs out — lower --scale or add data"
+                        "this run will fail when the data runs out — lower --scale or add data"
                     } else {
                         "bootstrap resampling will test the (noisy) empirical distribution \
                          instead — prefer more data or a lower --scale"
@@ -262,28 +433,60 @@ fn run() -> Result<(), String> {
             }
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
-            let decision = with_optional_trace(&mut oracle, &args.trace, |o| {
-                tester.test(o, k, eps, &mut rng).map_err(|e| e.to_string())
-            })?;
-            println!(
-                "{} (H_{k} at eps = {eps}; {} draws over [0..{n}))",
-                if decision.accepted() {
-                    "ACCEPT"
-                } else {
-                    "REJECT"
-                },
-                oracle.samples_drawn()
-            );
+            let robust = plan.is_some() || args.max_samples.is_some() || args.retries > 1;
+            if robust {
+                let mut runner = RobustRunner::new(tester).with_retries(args.retries);
+                if let Some(budget) = args.max_samples {
+                    runner = runner.with_budget(budget);
+                }
+                let outcome = with_stack(&mut oracle, &args.trace, &plan, |o| {
+                    runner.run(o, k, eps, &mut rng).map_err(CliError::from)
+                })?;
+                match outcome {
+                    Outcome::Conclusive(decision) => println!(
+                        "{} (H_{k} at eps = {eps}; {} draws over [0..{n}); {} rounds)",
+                        if decision.accepted() {
+                            "ACCEPT"
+                        } else {
+                            "REJECT"
+                        },
+                        oracle.samples_drawn(),
+                        args.retries
+                    ),
+                    Outcome::Inconclusive { reason, stage, .. } => {
+                        let place = stage.map(|s| format!(" in stage {s}")).unwrap_or_default();
+                        println!("INCONCLUSIVE{place}: {reason}");
+                        return Err(CliError {
+                            code: 5,
+                            msg: format!("inconclusive{place}: {reason}"),
+                        });
+                    }
+                }
+            } else {
+                let decision = with_stack(&mut oracle, &args.trace, &None, |o| {
+                    tester.test(o, k, eps, &mut rng).map_err(CliError::from)
+                })?;
+                println!(
+                    "{} (H_{k} at eps = {eps}; {} draws over [0..{n}))",
+                    if decision.accepted() {
+                        "ACCEPT"
+                    } else {
+                        "REJECT"
+                    },
+                    oracle.samples_drawn()
+                );
+            }
         }
         "select-k" => {
-            let (samples, n) = read_samples(&args)?;
+            let (samples, n) = read_samples(&args).map_err(CliError::input)?;
             let eps = args.eps.unwrap_or(0.25);
             let config = TesterConfig::practical().scaled(args.scale);
+            let plan = fold_budget(plan, args.max_samples);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
-            let sel = with_optional_trace(&mut oracle, &args.trace, |o| {
+            let sel = with_stack(&mut oracle, &args.trace, &plan, |o| {
                 doubling_search(&tester, o, eps, args.max_k, 3, true, &mut rng)
-                    .map_err(|e| e.to_string())
+                    .map_err(CliError::from)
             })?;
             match sel.selected_k {
                 Some(k) => println!("selected k = {k} (decisions: {:?})", sel.trials),
@@ -294,14 +497,23 @@ fn run() -> Result<(), String> {
             if args.trace.is_some() {
                 eprintln!("fewbins: warning: --trace is ignored by `certify` (no sampling)");
             }
-            let k = args.k.ok_or("certify requires --k")?;
-            let toks = read_numbers(&args.file)?;
+            if plan.is_some() || args.max_samples.is_some() {
+                eprintln!(
+                    "fewbins: warning: --faults/--max-samples are ignored by `certify` \
+                     (no sampling)"
+                );
+            }
+            let k = args
+                .k
+                .ok_or_else(|| CliError::usage("certify requires --k"))?;
+            let toks = read_numbers(&args.file).map_err(CliError::input)?;
             let weights: Vec<f64> = toks
                 .iter()
                 .map(|t| t.parse::<f64>().map_err(|e| format!("weight `{t}`: {e}")))
-                .collect::<Result<_, _>>()?;
-            let d = Distribution::from_weights(weights).map_err(|e| e.to_string())?;
-            let b = distance_to_hk_bounds(&d, k).map_err(|e| e.to_string())?;
+                .collect::<Result<_, _>>()
+                .map_err(CliError::input)?;
+            let d = Distribution::from_weights(weights).map_err(CliError::from)?;
+            let b = distance_to_hk_bounds(&d, k).map_err(CliError::from)?;
             println!(
                 "d_TV(D, H_{k}) in [{:.6}, {:.6}]; witness has {} pieces",
                 b.lower,
@@ -313,15 +525,16 @@ fn run() -> Result<(), String> {
             }
         }
         "sketch" => {
-            let (samples, n) = read_samples(&args)?;
-            let k = args.k.ok_or("sketch requires --k")?;
+            let (samples, n) = read_samples(&args).map_err(CliError::input)?;
+            let k = args
+                .k
+                .ok_or_else(|| CliError::usage("sketch requires --k"))?;
             let eps = args.eps.unwrap_or(0.1);
+            let plan = fold_budget(plan, args.max_samples);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let learner = AgnosticLearner::default();
-            let sketch = with_optional_trace(&mut oracle, &args.trace, |o| {
-                learner
-                    .learn(o, k, eps, &mut rng)
-                    .map_err(|e| e.to_string())
+            let sketch = with_stack(&mut oracle, &args.trace, &plan, |o| {
+                learner.learn(o, k, eps, &mut rng).map_err(CliError::from)
             })?;
             println!("# k-histogram sketch: start_index level");
             for (j, iv) in sketch.partition().intervals().iter().enumerate() {
@@ -329,17 +542,18 @@ fn run() -> Result<(), String> {
             }
         }
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown subcommand `{other}` (expected test | select-k | certify | sketch)"
-            ))
+            )))
         }
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
-    // Oracle exhaustion (--no-resample) surfaces as a panic deep inside the
-    // tester; present it as a normal CLI error instead of a backtrace.
+    // A panic that escapes the tester (e.g. an infallible oracle path
+    // hitting exhaustion) is presented as a normal CLI error, not a
+    // backtrace; it exits 1 where typed failures exit 2–5.
     std::panic::set_hook(Box::new(|info| {
         let msg = info
             .payload()
@@ -352,8 +566,8 @@ fn main() -> ExitCode {
     match std::panic::catch_unwind(run) {
         Ok(Ok(())) => ExitCode::SUCCESS,
         Ok(Err(e)) => {
-            eprintln!("fewbins: {e}");
-            ExitCode::FAILURE
+            eprintln!("fewbins: {}", e.msg);
+            ExitCode::from(e.code)
         }
         Err(_) => ExitCode::FAILURE,
     }
@@ -411,12 +625,37 @@ mod tests {
     }
 
     #[test]
+    fn parses_resilience_flags() {
+        let (_, args) = parse_args(&strs(&[
+            "test",
+            "--k",
+            "2",
+            "--faults",
+            "eta=0.1,seed=3",
+            "--max-samples",
+            "5000",
+            "--retries",
+            "3",
+            "d.txt",
+        ]))
+        .unwrap();
+        assert_eq!(args.faults.as_deref(), Some("eta=0.1,seed=3"));
+        assert_eq!(args.max_samples, Some(5000));
+        assert_eq!(args.retries, 3);
+        assert!(parse_args(&strs(&["test", "--retries", "0", "d.txt"])).is_err());
+        assert!(parse_args(&strs(&["test", "--max-samples", "x", "d.txt"])).is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         let (_, args) = parse_args(&strs(&["certify", "pmf.txt"])).unwrap();
         assert_eq!(args.seed, 160);
         assert_eq!(args.max_k, 256);
         assert_eq!(args.scale, 1.0);
+        assert_eq!(args.retries, 1);
         assert!(!args.no_resample);
+        assert!(args.faults.is_none());
+        assert!(args.max_samples.is_none());
     }
 
     #[test]
@@ -425,6 +664,23 @@ mod tests {
         assert!(parse_args(&strs(&["test", "--n"])).is_err());
         assert!(parse_args(&strs(&["test", "--scale", "-1", "f"])).is_err());
         assert!(parse_args(&strs(&[])).is_err());
+    }
+
+    #[test]
+    fn fold_budget_takes_the_tighter_cap() {
+        assert!(fold_budget(None, None).is_none());
+        assert_eq!(fold_budget(None, Some(100)).unwrap().budget, Some(100));
+        let plan = FaultPlan::none().with_budget(50);
+        assert_eq!(
+            fold_budget(Some(plan.clone()), Some(100)).unwrap().budget,
+            Some(50)
+        );
+        assert_eq!(fold_budget(Some(plan), None).unwrap().budget, Some(50));
+        let loose = FaultPlan::none().with_budget(500);
+        assert_eq!(
+            fold_budget(Some(loose), Some(100)).unwrap().budget,
+            Some(100)
+        );
     }
 
     #[test]
@@ -439,6 +695,30 @@ mod tests {
             o.draw(&mut rng);
         }));
         assert!(result.is_err(), "4th draw must abort");
+    }
+
+    #[test]
+    fn replay_oracle_try_path_fails_gracefully() {
+        use few_bins::sampling::oracle::SampleOracle;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut o = ReplayOracle::new(vec![0, 1, 2], 3, false, &mut rng);
+        assert!(o.try_draw_counts(3, &mut rng).is_ok());
+        let err = o.try_draw(&mut rng).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HistoError::OracleExhausted {
+                    budget: 3,
+                    drawn: 3
+                }
+            ),
+            "{err:?}"
+        );
+        // Bootstrap mode never exhausts the try path either.
+        let mut o = ReplayOracle::new(vec![2], 3, true, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(o.try_draw(&mut rng).unwrap(), 2);
+        }
     }
 
     #[test]

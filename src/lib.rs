@@ -48,7 +48,8 @@
 //! | [`stats`] | special functions, Poisson/binomial, amplification, confidence intervals |
 //! | [`trace`] | stage spans, counters, sample ledger, JSONL sinks |
 //! | [`sampling`] | alias sampler, counting oracles, workload generators |
-//! | [`testers`] | Algorithm 1 and all subroutines; baselines; model selection |
+//! | [`faults`] | deterministic fault injection: Huber contamination, budget caps, stalls, duplicated/dropped draws |
+//! | [`testers`] | Algorithm 1 and all subroutines; baselines; model selection; the resilient runtime |
 //! | [`lowerbounds`] | the `Q_ε` family, `SuppSize`, the §4.2 reduction |
 //! | [`experiments`] | acceptance estimation, budget search, reports |
 
@@ -56,6 +57,8 @@
 pub use histo_core as core;
 /// Re-export of `histo-experiments`.
 pub use histo_experiments as experiments;
+/// Re-export of `histo-faults`.
+pub use histo_faults as faults;
 /// Re-export of `histo-lowerbounds`.
 pub use histo_lowerbounds as lowerbounds;
 /// Re-export of `histo-sampling`.
@@ -73,15 +76,17 @@ pub use histo_core::{Distribution, HistoError, Interval, KHistogram, Partition};
 pub mod prelude {
     pub use histo_core::dp::distance_to_hk_bounds;
     pub use histo_core::{Distribution, HistoError, Interval, KHistogram, Partition};
+    pub use histo_faults::{Adversary, FaultCounters, FaultPlan, FaultyOracle};
     pub use histo_sampling::generators::{
         gaussian_bump, geometric, mixture, random_k_histogram, sawtooth_perturbation, staircase,
         uniform_sawtooth, zipf,
     };
-    pub use histo_sampling::{DistOracle, SampleOracle, ScopedOracle};
+    pub use histo_sampling::{BudgetedOracle, DistOracle, SampleOracle, ScopedOracle};
     pub use histo_testers::agnostic::AgnosticLearner;
     pub use histo_testers::config::TesterConfig;
-    pub use histo_testers::histogram_tester::{Ablation, HistogramTester};
+    pub use histo_testers::histogram_tester::{Ablation, HistogramTester, StageError};
     pub use histo_testers::model_selection::doubling_search;
+    pub use histo_testers::robust::{InconclusiveReason, Outcome, RobustRunner};
     pub use histo_testers::{Decision, Tester};
     pub use histo_trace::{JsonlSink, NullSink, SampleLedger, Stage, TraceSink, Tracer};
 }

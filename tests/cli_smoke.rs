@@ -1,0 +1,175 @@
+//! End-to-end smoke tests for the `fewbins` binary: every exit code in
+//! the documented scheme (`0` ok, `2` usage, `3` bad input, `4` samples
+//! exhausted, `5` inconclusive) is reachable, distinct, and paired with a
+//! useful message.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fewbins(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fewbins"))
+        .args(args)
+        .output()
+        .expect("failed to spawn fewbins")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("fewbins was killed by a signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a unique temp file for one test; `name` keeps concurrent tests
+/// from colliding.
+fn write_tmp(name: &str, contents: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("fewbins_smoke_{}_{name}.txt", std::process::id()));
+    std::fs::write(&p, contents).unwrap();
+    p
+}
+
+/// A dataset of 60 samples spread over [0..30).
+fn dataset(name: &str) -> PathBuf {
+    let samples: Vec<String> = (0..60).map(|i| (i % 30).to_string()).collect();
+    write_tmp(name, &samples.join(" "))
+}
+
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    let out = fewbins(&["--help"]);
+    assert_eq!(code(&out), 0);
+    let usage = stderr(&out);
+    assert!(usage.contains("exit codes"), "{usage}");
+    assert!(usage.contains("--faults"), "{usage}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let data = dataset("usage");
+    let data = data.to_str().unwrap();
+    for argv in [
+        vec!["frobnicate"],
+        vec!["test", data],                        // missing --k
+        vec!["test", "--k", "2", "--bogus", data], // unknown flag
+        vec!["test", "--k", "2", "--retries", "0", data],
+        vec!["test", "--k", "2", "--faults", "bogus=1", data],
+        vec!["test", "--k", "2", "--max-samples", "many", data],
+    ] {
+        let out = fewbins(&argv);
+        assert_eq!(code(&out), 2, "argv {argv:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("fewbins:"), "argv {argv:?}");
+    }
+}
+
+#[test]
+fn input_errors_exit_three() {
+    let bad = write_tmp("badtok", "0 1 oops 2");
+    let out = fewbins(&["test", "--k", "2", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("oops"), "{}", stderr(&out));
+
+    let out = fewbins(&["test", "--k", "2", "/nonexistent/fewbins_smoke.txt"]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+
+    let big = write_tmp("domain", "0 1 99");
+    let out = fewbins(&["test", "--n", "10", "--k", "2", big.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+}
+
+#[test]
+fn exhausted_dataset_exits_four() {
+    // 60 samples against a budget of hundreds of thousands: the
+    // no-resample replay oracle runs dry mid-pipeline and the typed
+    // exhaustion error must surface as exit 4, not a panic (exit 1).
+    let data = dataset("exhaust");
+    let out = fewbins(&[
+        "test",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--no-resample",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    assert!(stderr(&out).contains("exhausted"), "{}", stderr(&out));
+}
+
+#[test]
+fn starved_budget_exits_five_and_reports_inconclusive() {
+    // --max-samples far below the Theorem 1.1 requirement: the resilient
+    // runner must come back INCONCLUSIVE (stdout) with exit code 5.
+    let data = dataset("starved");
+    let out = fewbins(&[
+        "test",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--max-samples",
+        "40",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 5, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("INCONCLUSIVE"), "{text}");
+    assert!(text.contains("approx_part"), "{text}");
+}
+
+#[test]
+fn faulty_traced_run_emits_trace_and_fault_summary() {
+    // All resilience layers at once: faults + budget + tracing. Still
+    // exit 5 (inconclusive), with the fault summary on stderr and a
+    // non-empty JSONL trace on disk.
+    let data = dataset("faulty");
+    let trace =
+        std::env::temp_dir().join(format!("fewbins_smoke_{}_trace.jsonl", std::process::id()));
+    let out = fewbins(&[
+        "test",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--faults",
+        "eta=0.5,adv=point:0,seed=1",
+        "--max-samples",
+        "40",
+        "--trace",
+        trace.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 5, "{}", stderr(&out));
+    assert!(stderr(&out).contains("faults injected"), "{}", stderr(&out));
+    let trace_bytes = std::fs::read(&trace).expect("trace file written");
+    assert!(!trace_bytes.is_empty());
+}
+
+#[test]
+fn sketch_happy_path_exits_zero() {
+    let data = dataset("sketch");
+    let out = fewbins(&[
+        "sketch",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--eps",
+        "0.3",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("sketch"), "{}", stdout(&out));
+}
+
+#[test]
+fn certify_happy_path_exits_zero() {
+    let pmf = write_tmp("pmf", "1 1 1 1 1 1 1 1");
+    let out = fewbins(&["certify", "--k", "1", pmf.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("d_TV"), "{}", stdout(&out));
+}
