@@ -78,6 +78,7 @@ fn main() {
 
     let (sizes, ks) = grid();
     let mut cells = Vec::new();
+    let (mut fit_total_ms, mut cost_total_ms, mut ref_total_ms) = (0.0f64, 0.0f64, 0.0f64);
     println!("dp_scaling: stair+noise instance, best of {reps} reps, times in ms");
     println!(
         "{:>7} {:>4} {:>12} {:>12} {:>12} {:>9}",
@@ -104,6 +105,9 @@ fn main() {
             } else {
                 None
             };
+            fit_total_ms += fit_ms;
+            cost_total_ms += cost_ms;
+            ref_total_ms += reference.unwrap_or(0.0);
             let speedup = reference.map(|r| r / fit_ms);
             println!(
                 "{:>7} {:>4} {:>12} {:>12} {:>12} {:>9}",
@@ -134,6 +138,13 @@ fn main() {
         "reps": reps,
         "unit": "ms (best of reps)",
         "threads_available": histo_experiments::num_threads(),
+        // Per-engine wall-time totals over the grid (sum of best-of-reps
+        // cell times). Summary only — the regression gate reads `cells`.
+        "wall_ms": {
+            "fit_total": fit_total_ms,
+            "cost_total": cost_total_ms,
+            "reference_total": ref_total_ms,
+        },
         "cells": cells,
     });
     // CARGO_MANIFEST_DIR = crates/bench; the tracked baseline lives at the

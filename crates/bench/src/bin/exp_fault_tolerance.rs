@@ -24,10 +24,11 @@ use histo_bench::{emit, fmt, seed, threads, trials};
 use histo_core::Distribution;
 use histo_experiments::{ExperimentReport, Table};
 use histo_faults::{Adversary, FaultPlan, FaultyOracle};
-use histo_sampling::{DistOracle, SampleOracle};
+use histo_sampling::{DistOracle, SampleOracle, ScopedOracle};
 use histo_testers::config::TesterConfig;
 use histo_testers::histogram_tester::HistogramTester;
 use histo_testers::robust::{Outcome, RobustRunner};
+use histo_trace::{ManualClock, NullSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -151,6 +152,62 @@ fn main() {
         ]);
     }
     report.table(cap_table);
+
+    // --- Sweep 3: injected stalls must surface in stage wall-time. -------
+    // Two runs under a deterministic virtual clock (1 µs per reading),
+    // identical except for the stall duration: zero-length stalls as the
+    // baseline, then real ones. Control flow, RNG consumption, and clock
+    // readings match exactly, so the wall-time difference must be exactly
+    // `stalled × stall_us` — each virtual stall lands in whichever stage
+    // span was open when it fired, and telescopes up to the root.
+    let stall_us = 100u64;
+    let stall_every = 64u64;
+    let mut stall_rows: Vec<(u64, u64, u64)> = Vec::new(); // (us, stalled, root_us)
+    for &us in &[0u64, stall_us] {
+        let mut rng = StdRng::seed_from_u64(seed() ^ 0x57A11);
+        let mut inner = DistOracle::new(d.clone()).with_fast_poissonization();
+        let tracer =
+            Tracer::new(Box::new(NullSink)).with_clock(Box::new(ManualClock::with_step(1)));
+        let scoped = ScopedOracle::with_tracer(&mut inner, tracer);
+        let plan = FaultPlan::none()
+            .with_stalls(us, stall_every)
+            .with_seed(seed());
+        let mut oracle = FaultyOracle::new(scoped, plan);
+        let runner = RobustRunner::new(HistogramTester::new(config));
+        let outcome = runner.run(&mut oracle, k, epsilon, &mut rng).unwrap();
+        assert!(
+            outcome.decision().is_some(),
+            "stall-sweep runs must conclude"
+        );
+        let stalled = oracle.counters().stalled;
+        let (_ledger, timings) = oracle.into_inner().finish_with_timings();
+        stall_rows.push((us, stalled, timings.root_us()));
+    }
+    let (_, base_stalled, base_root) = stall_rows[0];
+    let (_, stalled, root) = stall_rows[1];
+    assert_eq!(
+        stalled, base_stalled,
+        "identical schedules must stall identically"
+    );
+    assert!(stalled > 0, "the stall sweep must actually stall");
+    assert_eq!(
+        root,
+        base_root + stalled * stall_us,
+        "virtual stall time must surface, exactly, in measured wall time"
+    );
+    let mut stall_table = Table::new(
+        "injected stalls vs measured wall time (deterministic 1 us/reading clock)",
+        &["stall_us", "stalls", "root_us", "injected_us"],
+    );
+    for &(us, count, root_us) in &stall_rows {
+        stall_table.push_row(vec![
+            us.to_string(),
+            count.to_string(),
+            root_us.to_string(),
+            (count * us).to_string(),
+        ]);
+    }
+    report.table(stall_table);
 
     report.note(format!(
         "mean clean-run usage: {} draws/trial; caps are fractions of that mean",

@@ -61,6 +61,12 @@ fn main() {
             "learner/T_lrn",
         ],
     );
+    let mut wall_table = Table::new(
+        "mean exclusive wall time per trial by stage (us; real clock, varies run to run)",
+        &[
+            "n", "k", "root", "approx", "learner", "sieve", "check", "adk",
+        ],
+    );
 
     let mut adk_ratios = vec![];
     let mut sieve_ratios = vec![];
@@ -102,6 +108,34 @@ fn main() {
             fmt(per(Stage::AdkTest)),
             fmt(staged.unattributed as f64 / staged.estimate.trials as f64),
         ]);
+        // Wall-time attribution rides along: exclusive per-stage times
+        // must telescope to the root span total (exact integers), and the
+        // per-trial means confront Theorem 1.1's running-time claim
+        // (√n·poly(log k, 1/ε) + poly(k, 1/ε)) the same way the ledger
+        // confronts its sample bound.
+        let wall_sum: u64 = staged.wall_us.iter().map(|&(_, us)| us).sum();
+        assert_eq!(
+            wall_sum, staged.wall_root_us,
+            "exclusive wall times must telescope to the root at n={n} k={k}"
+        );
+        let wall = |s: Stage| {
+            staged
+                .wall_us
+                .iter()
+                .find(|&&(ws, _)| ws == s)
+                .map_or(0, |&(_, us)| us) as f64
+                / staged.estimate.trials as f64
+        };
+        wall_table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt(staged.wall_root_us as f64 / staged.estimate.trials as f64),
+            fmt(wall(Stage::ApproxPart)),
+            fmt(wall(Stage::Learner)),
+            fmt(wall(Stage::Sieve)),
+            fmt(wall(Stage::Check)),
+            fmt(wall(Stage::AdkTest)),
+        ]);
         let r_adk =
             (per(Stage::ApproxPart) + per(Stage::AdkTest)) / theory::term_adk(n, k, epsilon);
         let r_sieve = per(Stage::Sieve) / theory::term_sieve(k, epsilon);
@@ -122,6 +156,7 @@ fn main() {
     }
     report.table(ledger_table);
     report.table(ratio_table);
+    report.table(wall_table);
 
     let spread = |rs: &[f64]| {
         let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);

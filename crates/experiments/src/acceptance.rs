@@ -163,6 +163,14 @@ pub struct StagedAcceptance {
     pub stages: Vec<(Stage, u64)>,
     /// Draws made while no stage span was open, summed over all trials.
     pub unattributed: u64,
+    /// Exclusive wall time per stage in µs, summed over all trials, in
+    /// canonical pipeline order. Measured by the tracer's real monotonic
+    /// clock, so — unlike every other field — these values vary run to
+    /// run and carry **no** thread-count-invariance guarantee; only the
+    /// telescoping identity (they sum to [`Self::wall_root_us`]) is exact.
+    pub wall_us: Vec<(Stage, u64)>,
+    /// Total wall time of top-level spans across all trials, µs.
+    pub wall_root_us: u64,
 }
 
 impl StagedAcceptance {
@@ -226,8 +234,8 @@ pub fn estimate_acceptance_staged(
     } else {
         threads
     };
-    type Acc = (u64, Vec<(u64, u64)>, Vec<(Stage, u64)>, u64);
-    let results = parking_lot::Mutex::new((0u64, Vec::new(), Vec::new(), 0u64));
+    type Acc = (u64, Vec<(u64, u64)>, Vec<(Stage, u64)>, u64, Vec<(Stage, u64)>, u64);
+    let results = parking_lot::Mutex::new((0u64, Vec::new(), Vec::new(), 0u64, Vec::new(), 0u64));
     let next = std::sync::atomic::AtomicU64::new(0);
 
     let merge_stages = |into: &mut Vec<(Stage, u64)>, from: &[(Stage, u64)]| {
@@ -243,7 +251,7 @@ pub fn estimate_acceptance_staged(
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
-                let mut local: Acc = (0, Vec::new(), Vec::new(), 0);
+                let mut local: Acc = (0, Vec::new(), Vec::new(), 0, Vec::new(), 0);
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= trials {
@@ -259,26 +267,37 @@ pub fn estimate_acceptance_staged(
                         .test(&mut oracle, k, epsilon, &mut rng)
                         .expect("experiment parameters must be valid");
                     let drawn = oracle.samples_drawn();
-                    let ledger = oracle.finish();
+                    let (ledger, timings) = oracle.finish_with_timings();
                     if decision.accepted() {
                         local.0 += 1;
                     }
                     local.1.push((i, drawn));
                     merge_stages(&mut local.2, ledger.entries());
                     local.3 += ledger.unattributed();
+                    let wall: Vec<(Stage, u64)> = timings
+                        .entries()
+                        .iter()
+                        .map(|&(s, w)| (s, w.exclusive_us))
+                        .collect();
+                    merge_stages(&mut local.4, &wall);
+                    local.5 += timings.root_us();
                 }
                 let mut guard = results.lock();
                 guard.0 += local.0;
                 guard.1.extend_from_slice(&local.1);
                 merge_stages(&mut guard.2, &local.2);
                 guard.3 += local.3;
+                merge_stages(&mut guard.4, &local.4);
+                guard.5 += local.5;
             });
         }
     })
     .expect("worker threads must not panic");
 
-    let (accepts, mut draws, mut stages, unattributed) = results.into_inner();
+    let (accepts, mut draws, mut stages, unattributed, mut wall_us, wall_root_us) =
+        results.into_inner();
     stages.sort_by_key(|&(s, _)| stage_rank(s));
+    wall_us.sort_by_key(|&(s, _)| stage_rank(s));
     let (samples, total_drawn) = fold_draws(&mut draws);
     StagedAcceptance {
         estimate: AcceptanceEstimate {
@@ -290,6 +309,8 @@ pub fn estimate_acceptance_staged(
         },
         stages,
         unattributed,
+        wall_us,
+        wall_root_us,
     }
 }
 
@@ -346,6 +367,25 @@ mod tests {
         // total draws over all trials (integer-to-integer comparison).
         assert_eq!(staged.total_samples(), staged.estimate.total_drawn);
         assert_eq!(staged.unattributed, 0);
+        // Wall-time telescoping: per-stage exclusive times are exact
+        // integer aggregates that sum to the root span total, whatever
+        // the (real) clock measured.
+        let wall_sum: u64 = staged.wall_us.iter().map(|&(_, us)| us).sum();
+        assert_eq!(wall_sum, staged.wall_root_us);
+        // Timings cover every stage that opened a span — a superset of
+        // the ledger rows, which only list stages that drew. The offline
+        // `check` DP is the gap: wall time but zero draws.
+        for (s, _) in &staged.stages {
+            assert!(
+                staged.wall_us.iter().any(|&(ws, _)| ws == *s),
+                "no wall entry for drawing stage {}",
+                s.name()
+            );
+        }
+        assert!(
+            staged.wall_us.iter().any(|&(ws, _)| ws == Stage::Check),
+            "the offline check stage must still be timed"
+        );
         // The pipeline stages all drew something, in canonical order.
         let names: Vec<&str> = staged.stages.iter().map(|(s, _)| s.name()).collect();
         assert!(names.contains(&"approx_part"), "{names:?}");
@@ -376,6 +416,11 @@ mod tests {
         assert_eq!(a.estimate.samples.variance(), b.estimate.samples.variance());
         assert_eq!(a.stages, b.stages);
         assert_eq!(a.unattributed, b.unattributed);
+        // Wall-time fields are real-clock measurements and are
+        // deliberately NOT compared across thread counts — only their
+        // internal telescoping identity is guaranteed.
+        let wall_sum: u64 = a.wall_us.iter().map(|&(_, us)| us).sum();
+        assert_eq!(wall_sum, a.wall_root_us);
     }
 
     #[test]

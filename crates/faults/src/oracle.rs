@@ -144,12 +144,23 @@ impl<O: SampleOracle> FaultyOracle<O> {
 
     /// Records (and in wall-clock mode, sleeps through) a stall if this
     /// returned draw lands on the stall period.
+    ///
+    /// Either way the stall reaches stage wall-time: a real sleep is
+    /// measured by a tracer's monotonic clock, and the virtual-time
+    /// `advance_clock` below moves any injected deterministic clock
+    /// (real clocks ignore it), so a traced faulty run attributes
+    /// `stall_us` to whichever stage was stalled.
     fn maybe_stall(&mut self) {
         let every = self.plan.stall_every;
         if every > 0 && self.returned % every == 0 {
             self.counters.stalled += 1;
             if self.plan.real_sleep && self.plan.stall_us > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(self.plan.stall_us));
+            }
+            if self.plan.stall_us > 0 {
+                if let Some(t) = self.inner.tracer() {
+                    t.advance_clock(self.plan.stall_us);
+                }
             }
         }
     }
@@ -326,6 +337,35 @@ mod tests {
         assert_eq!(faulty.samples_drawn(), plain.samples_drawn());
         assert_eq!(faulty.consumed(), plain.samples_drawn());
         assert_eq!(faulty.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn stalls_advance_an_injected_virtual_clock() {
+        use histo_sampling::ScopedOracle;
+        use histo_trace::{ManualClock, NullSink, Stage, Tracer};
+        // 70 µs stall every 10th returned draw, virtual time only. The
+        // tracer sits *below* the fault layer (as `fewbins --trace
+        // --faults` stacks them), so `maybe_stall` can reach it through
+        // the `tracer()` hook.
+        let plan = FaultPlan::none().with_stalls(70, 10);
+        let mut inner = uniform(8);
+        let tracer =
+            Tracer::new(Box::new(NullSink)).with_clock(Box::new(ManualClock::new()));
+        let scoped = ScopedOracle::with_tracer(&mut inner, tracer);
+        let mut faulty = FaultyOracle::new(scoped, plan);
+        let mut rng = StdRng::seed_from_u64(9);
+        faulty.trace_enter(Stage::Sieve);
+        for _ in 0..30 {
+            faulty.draw(&mut rng);
+        }
+        faulty.trace_exit();
+        let stalled = faulty.counters().stalled;
+        let (_, timings) = faulty.into_inner().finish_with_timings();
+        // Draws 10, 20, 30 stall: 3 × 70 µs of virtual wall time, all
+        // attributed to the stage that was open — deterministically.
+        assert_eq!(stalled, 3);
+        assert_eq!(timings.stage(Stage::Sieve).inclusive_us, 210);
+        assert_eq!(timings.root_us(), 210);
     }
 
     #[test]

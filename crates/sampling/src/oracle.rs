@@ -16,7 +16,7 @@ use crate::alias::AliasSampler;
 use histo_core::empirical::SampleCounts;
 use histo_core::{Distribution, HistoError};
 use histo_stats::Poisson;
-use histo_trace::{SampleLedger, Stage, TraceSink, Tracer, Value};
+use histo_trace::{SampleLedger, Stage, StageTimings, TraceSink, Tracer, Value};
 use rand::RngCore;
 
 /// Black-box sample access to an unknown distribution over `\[n\]`, with
@@ -203,10 +203,24 @@ impl<'a> ScopedOracle<'a> {
         self.tracer.ledger()
     }
 
+    /// Read access to the per-stage wall-time/allocation totals
+    /// accumulated so far. Draws, time, and allocations are all charged
+    /// through the same span stack, so this is the ledger's resource
+    /// counterpart (zero durations when the tracer is timing-free).
+    pub fn timings(&self) -> &StageTimings {
+        self.tracer.timings()
+    }
+
     /// Finishes the tracer (emits the ledger summary, flushes the sink)
     /// and returns the ledger.
     pub fn finish(self) -> SampleLedger {
         self.tracer.finish()
+    }
+
+    /// Like [`ScopedOracle::finish`], additionally returning the
+    /// per-stage wall-time/allocation totals.
+    pub fn finish_with_timings(self) -> (SampleLedger, StageTimings) {
+        self.tracer.finish_with_timings()
     }
 
     fn charge_delta(&mut self, before: u64) {
@@ -607,6 +621,38 @@ mod tests {
         let mut o = ScopedOracle::new(&mut inner, Box::new(histo_trace::NullSink));
         let wrapped: Vec<usize> = (0..20).map(|_| o.draw(&mut rng2)).collect();
         assert_eq!(direct, wrapped);
+    }
+
+    #[test]
+    fn scoped_oracle_charges_time_alongside_draws() {
+        use histo_trace::{ManualClock, NullSink, Tracer};
+        let run = || {
+            let mut inner = DistOracle::new(d(&[0.25; 4]));
+            let mut rng = StdRng::seed_from_u64(53);
+            let tracer = Tracer::new(Box::new(NullSink))
+                .with_clock(Box::new(ManualClock::with_step(100)));
+            let mut o = ScopedOracle::with_tracer(&mut inner, tracer);
+            o.trace_enter(Stage::Sieve);
+            o.draw_counts(40, &mut rng);
+            o.trace_enter(Stage::AdkTest);
+            o.draw(&mut rng);
+            o.trace_exit();
+            o.trace_exit();
+            let (ledger, timings) = o.finish_with_timings();
+            (ledger, timings)
+        };
+        let (ledger, timings) = run();
+        assert_eq!(ledger.stage_total(Stage::Sieve), 40);
+        // Clock reads at enter/exit boundaries: sieve spans 0..300
+        // (inclusive 300), adk 100..200 (inclusive 100).
+        let sieve = timings.stage(Stage::Sieve);
+        let adk = timings.stage(Stage::AdkTest);
+        assert_eq!(sieve.inclusive_us, 300);
+        assert_eq!(sieve.exclusive_us, 200);
+        assert_eq!(adk.inclusive_us, 100);
+        assert_eq!(timings.root_us(), 300);
+        // Deterministic clock ⇒ bitwise-reproducible timings.
+        assert_eq!(run().1, timings);
     }
 
     #[test]

@@ -10,13 +10,15 @@ use histo_sampling::generators::staircase;
 use histo_sampling::{DistOracle, ScopedOracle};
 use histo_testers::histogram_tester::HistogramTester;
 use histo_testers::Tester;
-use histo_trace::{JsonlSink, SharedBuffer, Tracer};
+use histo_trace::{JsonlSink, ManualClock, SharedBuffer, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One full tester run on a fixed instance/seed, returning the decision,
-/// the per-run sample count, and the rendered trace bytes.
-fn run_once(accept_side: bool) -> (bool, u64, Vec<u8>) {
+/// the per-run sample count, and the rendered trace bytes. `clock_step`
+/// selects timing-free mode (`None`) or a deterministic [`ManualClock`]
+/// advancing by that many µs per reading (`Some`).
+fn run_once(accept_side: bool, clock_step: Option<u64>) -> (bool, u64, Vec<u8>) {
     let d = if accept_side {
         staircase(600, 3).unwrap().to_distribution().unwrap()
     } else {
@@ -32,7 +34,11 @@ fn run_once(accept_side: bool) -> (bool, u64, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(1234);
     let mut inner = DistOracle::new(d).with_fast_poissonization();
     let buf = SharedBuffer::new();
-    let tracer = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+    let tracer = Tracer::new(Box::new(JsonlSink::new(buf.clone())));
+    let tracer = match clock_step {
+        None => tracer.without_timing(),
+        Some(step) => tracer.with_clock(Box::new(ManualClock::with_step(step))),
+    };
     let mut oracle = ScopedOracle::with_tracer(&mut inner, tracer);
     let tester = HistogramTester::practical();
     let decision = tester.test(&mut oracle, 3, 0.3, &mut rng).unwrap();
@@ -42,12 +48,37 @@ fn run_once(accept_side: bool) -> (bool, u64, Vec<u8>) {
     (decision.accepted(), drawn, buf.contents())
 }
 
+/// Removes the timing-only fields (`,"t_us":N` / `,"elapsed_us":N`) from
+/// a rendered trace, which must recover the timing-free byte stream.
+fn strip_timing(bytes: &[u8]) -> Vec<u8> {
+    let text = std::str::from_utf8(bytes).expect("traces are UTF-8");
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    'outer: while !rest.is_empty() {
+        for key in [",\"t_us\":", ",\"elapsed_us\":"] {
+            if let Some(tail) = rest.strip_prefix(key) {
+                let digits = tail.bytes().take_while(u8::is_ascii_digit).count();
+                if digits > 0 {
+                    rest = &tail[digits..];
+                    continue 'outer;
+                }
+            }
+        }
+        let ch = rest.chars().next().unwrap();
+        out.push(ch);
+        rest = &rest[ch.len_utf8()..];
+    }
+    out.into_bytes()
+}
+
 #[test]
 fn decision_and_trace_bytes_are_thread_count_invariant() {
     let mut runs = Vec::new();
+    let mut timed_runs = Vec::new();
     for threads in ["1", "2", "4"] {
         std::env::set_var("FEWBINS_THREADS", threads);
-        runs.push((threads, run_once(true), run_once(false)));
+        runs.push((threads, run_once(true, None), run_once(false, None)));
+        timed_runs.push((threads, run_once(true, Some(7)), run_once(false, Some(7))));
     }
     std::env::remove_var("FEWBINS_THREADS");
 
@@ -69,6 +100,28 @@ fn decision_and_trace_bytes_are_thread_count_invariant() {
     // The two sides genuinely exercise different paths.
     assert!(base_accept.0, "staircase(600, 3) should be accepted");
     assert!(!base_reject.0, "the spiky instance should be rejected");
+
+    // With a deterministic injected clock the FULL timed byte stream is
+    // thread-count-invariant too, and stripping the timing fields
+    // recovers exactly the timing-free stream: timing rides in a
+    // separate channel and never perturbs the algorithmic bytes.
+    let (_, timed_accept, timed_reject) = &timed_runs[0];
+    for (threads, accept_run, reject_run) in &timed_runs[1..] {
+        assert_eq!(
+            accept_run, timed_accept,
+            "timed accept-side run diverged at FEWBINS_THREADS={threads}"
+        );
+        assert_eq!(
+            reject_run, timed_reject,
+            "timed reject-side run diverged at FEWBINS_THREADS={threads}"
+        );
+    }
+    assert!(
+        timed_accept.2.windows(7).any(|w| w == b"\"t_us\":"),
+        "timed stream must actually carry timestamps"
+    );
+    assert_eq!(strip_timing(&timed_accept.2), base_accept.2);
+    assert_eq!(strip_timing(&timed_reject.2), base_reject.2);
 
     // The tester runs above stay below the DP's parallelism threshold
     // (layers only spawn workers past 2048 blocks), so also pin the DP

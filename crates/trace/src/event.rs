@@ -109,6 +109,9 @@ pub enum TraceEvent {
         stage: Stage,
         /// Span-stack depth before this span was pushed.
         depth: usize,
+        /// Clock reading at entry (µs since the tracer clock's origin);
+        /// `None` in timing-free mode. Non-decreasing across events.
+        t_us: Option<u64>,
     },
     /// A stage span closed. `samples` is the number of oracle draws
     /// charged to this span *exclusively* (children charge their own).
@@ -124,6 +127,15 @@ pub enum TraceEvent {
         /// Wall time of the span in microseconds; `None` when the
         /// tracer runs in deterministic (timing-free) mode.
         elapsed_us: Option<u64>,
+        /// Clock reading at exit; `None` in timing-free mode. Equals
+        /// the matching enter's `t_us` plus `elapsed_us`.
+        t_us: Option<u64>,
+        /// Heap allocations charged to this span exclusively; `None`
+        /// unless an [`crate::AllocProbe`] is attached.
+        alloc_count: Option<u64>,
+        /// Heap bytes charged to this span exclusively; `None` unless
+        /// an [`crate::AllocProbe`] is attached.
+        alloc_bytes: Option<u64>,
     },
     /// A named scalar observation, attributed to the innermost open
     /// stage (or none, at top level).
@@ -209,13 +221,22 @@ impl TraceEvent {
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(96);
         match self {
-            TraceEvent::StageEnter { seq, stage, depth } => {
+            TraceEvent::StageEnter {
+                seq,
+                stage,
+                depth,
+                t_us,
+            } => {
                 out.push_str("{\"ev\":\"enter\",\"seq\":");
                 out.push_str(&seq.to_string());
                 out.push_str(",\"stage\":\"");
                 escape_into(&mut out, stage.name());
                 out.push_str("\",\"depth\":");
                 out.push_str(&depth.to_string());
+                if let Some(t) = t_us {
+                    out.push_str(",\"t_us\":");
+                    out.push_str(&t.to_string());
+                }
                 out.push('}');
             }
             TraceEvent::StageExit {
@@ -224,6 +245,9 @@ impl TraceEvent {
                 depth,
                 samples,
                 elapsed_us,
+                t_us,
+                alloc_count,
+                alloc_bytes,
             } => {
                 out.push_str("{\"ev\":\"exit\",\"seq\":");
                 out.push_str(&seq.to_string());
@@ -236,6 +260,18 @@ impl TraceEvent {
                 if let Some(us) = elapsed_us {
                     out.push_str(",\"elapsed_us\":");
                     out.push_str(&us.to_string());
+                }
+                if let Some(t) = t_us {
+                    out.push_str(",\"t_us\":");
+                    out.push_str(&t.to_string());
+                }
+                if let Some(c) = alloc_count {
+                    out.push_str(",\"alloc_count\":");
+                    out.push_str(&c.to_string());
+                }
+                if let Some(b) = alloc_bytes {
+                    out.push_str(",\"alloc_bytes\":");
+                    out.push_str(&b.to_string());
                 }
                 out.push('}');
             }
@@ -298,22 +334,38 @@ mod tests {
             seq: 3,
             stage: Stage::Sieve,
             depth: 1,
+            t_us: None,
         };
         assert_eq!(
             ev.to_json_line(),
             r#"{"ev":"enter","seq":3,"stage":"sieve","depth":1}"#
         );
+        let timed = TraceEvent::StageEnter {
+            seq: 3,
+            stage: Stage::Sieve,
+            depth: 1,
+            t_us: Some(120),
+        };
+        assert_eq!(
+            timed.to_json_line(),
+            r#"{"ev":"enter","seq":3,"stage":"sieve","depth":1,"t_us":120}"#
+        );
     }
 
     #[test]
-    fn exit_omits_elapsed_when_timing_off() {
+    fn exit_omits_optional_fields_when_absent() {
         let ev = TraceEvent::StageExit {
             seq: 9,
             stage: Stage::Check,
             depth: 0,
             samples: 42,
             elapsed_us: None,
+            t_us: None,
+            alloc_count: None,
+            alloc_bytes: None,
         };
+        // Timing-free rendering is byte-for-byte what it was before the
+        // timing channel existed — the determinism suite depends on it.
         assert_eq!(
             ev.to_json_line(),
             r#"{"ev":"exit","seq":9,"stage":"check","depth":0,"samples":42}"#
@@ -324,8 +376,14 @@ mod tests {
             depth: 0,
             samples: 42,
             elapsed_us: Some(17),
+            t_us: Some(137),
+            alloc_count: Some(3),
+            alloc_bytes: Some(256),
         };
-        assert!(timed.to_json_line().contains("\"elapsed_us\":17"));
+        assert_eq!(
+            timed.to_json_line(),
+            r#"{"ev":"exit","seq":9,"stage":"check","depth":0,"samples":42,"elapsed_us":17,"t_us":137,"alloc_count":3,"alloc_bytes":256}"#
+        );
     }
 
     #[test]

@@ -28,11 +28,23 @@
 //! the emitted event stream is a pure function of the algorithm's
 //! decisions — wall-clock never enters the bytes — which is what lets
 //! the determinism suite diff traces across `FEWBINS_THREADS` settings.
+//!
+//! Wall time rides in a *separate channel*: spans are timed through the
+//! injectable [`Clock`] trait ([`MonotonicClock`] in production,
+//! [`ManualClock`] in tests), timestamps appear only as optional
+//! `t_us`/`elapsed_us` fields, and per-stage totals accumulate in
+//! [`StageTimings`] — the timing counterpart of the [`SampleLedger`].
+//! An optional [`AllocProbe`] extends the same attribution to heap
+//! allocation counts and bytes.
 
+mod clock;
 mod event;
+mod probe;
 mod sink;
 mod tracer;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{Stage, TraceEvent, Value};
+pub use probe::AllocProbe;
 pub use sink::{JsonlSink, MemorySink, NullSink, SharedBuffer, TraceSink};
-pub use tracer::{SampleLedger, Tracer};
+pub use tracer::{SampleLedger, StageTimings, StageWall, Tracer};

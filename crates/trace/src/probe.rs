@@ -1,0 +1,47 @@
+//! Allocation probes: attributing heap traffic to stages.
+
+/// A cumulative snapshot source for heap-allocation accounting.
+///
+/// The tracer snapshots the probe at every span boundary and charges
+/// the delta — allocation events and bytes since the previous boundary
+/// — to the innermost open stage, mirroring how oracle draws are
+/// charged. Deltas observed while no span is open are discarded (the
+/// ledger tracks unattributed *samples* because they are the paper's
+/// budgeted quantity; unattributed allocator noise is not worth a
+/// channel).
+///
+/// `histo-metrics` ships a ready-made implementation behind its
+/// `alloc-counter` feature: a counting [`std::alloc::System`] wrapper
+/// installed as the global allocator. Any other source (jemalloc
+/// stats, a test double) works as long as both counters are cumulative
+/// and non-decreasing.
+pub trait AllocProbe: Send {
+    /// Returns cumulative `(allocation_count, allocated_bytes)` since
+    /// an arbitrary origin. Must be non-decreasing in both components.
+    fn snapshot(&mut self) -> (u64, u64);
+}
+
+#[cfg(test)]
+pub(crate) mod test_probe {
+    use super::AllocProbe;
+    use std::sync::{Arc, Mutex};
+
+    /// A hand-cranked probe for tests: bump the shared counters to
+    /// simulate allocations happening between span boundaries.
+    #[derive(Clone, Default)]
+    pub struct FakeProbe(pub Arc<Mutex<(u64, u64)>>);
+
+    impl FakeProbe {
+        pub fn bump(&self, count: u64, bytes: u64) {
+            let mut g = self.0.lock().unwrap();
+            g.0 += count;
+            g.1 += bytes;
+        }
+    }
+
+    impl AllocProbe for FakeProbe {
+        fn snapshot(&mut self) -> (u64, u64) {
+            *self.0.lock().unwrap()
+        }
+    }
+}

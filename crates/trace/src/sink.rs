@@ -162,6 +162,7 @@ mod tests {
             seq,
             stage: Stage::Learner,
             depth: 0,
+            t_us: None,
         }
     }
 
@@ -196,5 +197,72 @@ mod tests {
         let mut sink = NullSink;
         sink.record(&enter(0));
         sink.flush();
+    }
+
+    /// A writer that succeeds for the first `ok_calls` writes and then
+    /// fails every call (disk full, closed pipe, ...).
+    struct FailingWriter {
+        out: SharedBuffer,
+        ok_calls: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_calls == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "writer died"));
+            }
+            self.ok_calls -= 1;
+            self.out.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_first_write_error_and_drops_the_rest() {
+        let buf = SharedBuffer::new();
+        let mut sink = JsonlSink::new(FailingWriter {
+            out: buf.clone(),
+            ok_calls: 2,
+        });
+        for seq in 0..5 {
+            sink.record(&enter(seq));
+        }
+        sink.flush(); // must not panic after the writer died
+        assert_eq!(
+            sink.last_error().map(|e| e.kind()),
+            Some(io::ErrorKind::WriteZero)
+        );
+        // Exactly the pre-failure events made it out, as whole lines.
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[1].contains("\"seq\":1"));
+    }
+
+    #[test]
+    fn tracer_survives_a_dead_writer() {
+        use crate::{Stage, Tracer};
+        let buf = SharedBuffer::new();
+        let sink = JsonlSink::new(FailingWriter {
+            out: buf.clone(),
+            ok_calls: 1,
+        });
+        let mut t = Tracer::new(Box::new(sink)).without_timing();
+        t.enter(Stage::Sieve);
+        t.charge(12);
+        t.enter(Stage::AdkTest);
+        t.exit();
+        t.exit();
+        // The whole run — including the ledger footer — must complete
+        // without panicking even though output died after one line, and
+        // the ledger itself is unaffected by the sink failure.
+        let ledger = t.finish();
+        assert_eq!(ledger.total(), 12);
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"ev\":\"enter\""));
     }
 }

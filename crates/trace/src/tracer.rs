@@ -1,8 +1,10 @@
-//! The tracer: span stack, sample ledger, and event emission.
+//! The tracer: span stack, sample ledger, wall-time attribution, and
+//! event emission.
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::event::{Stage, TraceEvent, Value};
+use crate::probe::AllocProbe;
 use crate::sink::{NullSink, TraceSink};
-use std::time::Instant;
 
 /// Per-stage attribution of oracle draws.
 ///
@@ -67,11 +69,82 @@ impl SampleLedger {
     }
 }
 
+/// Per-stage wall-time and allocation totals, aggregated over spans.
+///
+/// `inclusive_us` counts a span's full duration (children included);
+/// `exclusive_us` subtracts time spent in nested spans, so summing it
+/// over all stages telescopes back to [`StageTimings::root_us`] — the
+/// total duration of top-level spans. That identity is what lets
+/// `fewbins report` present per-stage wall-time that provably accounts
+/// for the whole traced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWall {
+    /// Number of spans closed for this stage.
+    pub spans: u64,
+    /// Total span duration in µs, nested spans included.
+    pub inclusive_us: u64,
+    /// Total span duration in µs with nested spans' time subtracted.
+    pub exclusive_us: u64,
+    /// Heap allocations attributed to this stage exclusively (0 unless
+    /// an [`AllocProbe`] is attached).
+    pub alloc_count: u64,
+    /// Heap bytes attributed to this stage exclusively.
+    pub alloc_bytes: u64,
+}
+
+/// Wall-time/allocation ledger: the timing counterpart of [`SampleLedger`].
+///
+/// Entries are kept in first-seen order like the sample ledger. All
+/// durations are zero when the tracer runs timing-free — span counts
+/// still accumulate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    entries: Vec<(Stage, StageWall)>,
+    root_us: u64,
+}
+
+impl StageTimings {
+    /// Per-stage totals in first-seen order.
+    pub fn entries(&self) -> &[(Stage, StageWall)] {
+        &self.entries
+    }
+
+    /// Totals for `stage` (all-zero if never exited).
+    pub fn stage(&self, stage: Stage) -> StageWall {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map_or(StageWall::default(), |(_, w)| *w)
+    }
+
+    /// Total duration of top-level (depth-0) spans in µs; equals the
+    /// sum of `exclusive_us` over all stages.
+    pub fn root_us(&self) -> u64 {
+        self.root_us
+    }
+
+    fn entry_mut(&mut self, stage: Stage) -> &mut StageWall {
+        if let Some(i) = self.entries.iter().position(|(s, _)| *s == stage) {
+            &mut self.entries[i].1
+        } else {
+            self.entries.push((stage, StageWall::default()));
+            &mut self.entries.last_mut().expect("just pushed").1
+        }
+    }
+}
+
 struct Frame {
     stage: Stage,
     /// Draws charged to this span exclusively (children excluded).
     charged: u64,
-    start: Option<Instant>,
+    /// Clock reading at entry, when a clock is attached.
+    start_us: Option<u64>,
+    /// Total µs spent in already-closed child spans of this frame.
+    child_us: u64,
+    /// Allocation events charged to this span exclusively.
+    alloc_count: u64,
+    /// Allocation bytes charged to this span exclusively.
+    alloc_bytes: u64,
 }
 
 /// Owns a [`TraceSink`], a span stack, and a [`SampleLedger`].
@@ -84,8 +157,13 @@ pub struct Tracer {
     sink: Box<dyn TraceSink>,
     stack: Vec<Frame>,
     ledger: SampleLedger,
+    timings: StageTimings,
     seq: u64,
-    timing: bool,
+    clock: Option<Box<dyn Clock>>,
+    probe: Option<Box<dyn AllocProbe>>,
+    /// Last probe snapshot; deltas since it belong to the innermost
+    /// open span.
+    alloc_last: (u64, u64),
 }
 
 impl Default for Tracer {
@@ -95,23 +173,54 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// A tracer emitting into `sink`, with wall-clock span timing on.
+    /// A tracer emitting into `sink`, timed by the real monotonic clock.
     pub fn new(sink: Box<dyn TraceSink>) -> Self {
         Self {
             sink,
             stack: Vec::new(),
             ledger: SampleLedger::new(),
+            timings: StageTimings::default(),
             seq: 0,
-            timing: true,
+            clock: Some(Box::new(MonotonicClock::new())),
+            probe: None,
+            alloc_last: (0, 0),
         }
     }
 
-    /// Disables wall-clock timing: `elapsed_us` is omitted from every
-    /// span exit, making the emitted byte stream a pure function of the
+    /// Disables span timing: `t_us`/`elapsed_us` are omitted from every
+    /// event, making the emitted byte stream a pure function of the
     /// algorithm's behavior (the determinism suite relies on this).
     pub fn without_timing(mut self) -> Self {
-        self.timing = false;
+        self.clock = None;
         self
+    }
+
+    /// Replaces the span clock — e.g. with a deterministic
+    /// [`crate::ManualClock`] so tests can assert on exact timestamps.
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Attaches an allocation probe: from now on every span exit
+    /// carries the allocation count/bytes charged to that span
+    /// exclusively (deltas between boundary snapshots go to the
+    /// innermost open stage).
+    pub fn with_alloc_probe(mut self, mut probe: Box<dyn AllocProbe>) -> Self {
+        self.alloc_last = probe.snapshot();
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Adds `us` microseconds of *virtual* time to the span clock.
+    ///
+    /// Real clocks ignore it; a [`crate::ManualClock`] moves forward,
+    /// which is how simulated stalls (`histo-faults`) surface in stage
+    /// wall-time deterministically. No-op in timing-free mode.
+    pub fn advance_clock(&mut self, us: u64) {
+        if let Some(clock) = self.clock.as_mut() {
+            clock.advance(us);
+        }
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -120,16 +229,47 @@ impl Tracer {
         s
     }
 
+    fn now_us(&mut self) -> Option<u64> {
+        self.clock.as_mut().map(|c| c.now_us())
+    }
+
+    /// Charges allocator activity since the last boundary snapshot to
+    /// the innermost open span. Called at every span boundary so the
+    /// attribution is exclusive (a parent never absorbs a child's
+    /// allocations).
+    fn settle_alloc(&mut self) {
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        let snap = probe.snapshot();
+        let d_count = snap.0.saturating_sub(self.alloc_last.0);
+        let d_bytes = snap.1.saturating_sub(self.alloc_last.1);
+        self.alloc_last = snap;
+        if let Some(frame) = self.stack.last_mut() {
+            frame.alloc_count += d_count;
+            frame.alloc_bytes += d_bytes;
+        }
+    }
+
     /// Opens a span for `stage`. Spans nest; close with [`exit`](Tracer::exit).
     pub fn enter(&mut self, stage: Stage) {
+        self.settle_alloc();
         let seq = self.next_seq();
         let depth = self.stack.len();
-        self.sink
-            .record(&TraceEvent::StageEnter { seq, stage, depth });
+        let t_us = self.now_us();
+        self.sink.record(&TraceEvent::StageEnter {
+            seq,
+            stage,
+            depth,
+            t_us,
+        });
         self.stack.push(Frame {
             stage,
             charged: 0,
-            start: self.timing.then(Instant::now),
+            start_us: t_us,
+            child_us: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
         });
     }
 
@@ -139,21 +279,39 @@ impl Tracer {
     /// If no span is open — an unbalanced exit is a bug in the
     /// instrumented code, not a runtime condition to tolerate.
     pub fn exit(&mut self) {
+        self.settle_alloc();
         let frame = self
             .stack
             .pop()
             .expect("Tracer::exit with no open span (unbalanced instrumentation)");
         let seq = self.next_seq();
-        let elapsed_us = frame
-            .start
-            .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let t_us = self.now_us();
+        let elapsed_us = match (frame.start_us, t_us) {
+            (Some(start), Some(now)) => Some(now.saturating_sub(start)),
+            _ => None,
+        };
+        let has_probe = self.probe.is_some();
         self.sink.record(&TraceEvent::StageExit {
             seq,
             stage: frame.stage,
             depth: self.stack.len(),
             samples: frame.charged,
             elapsed_us,
+            t_us,
+            alloc_count: has_probe.then_some(frame.alloc_count),
+            alloc_bytes: has_probe.then_some(frame.alloc_bytes),
         });
+        let elapsed = elapsed_us.unwrap_or(0);
+        let wall = self.timings.entry_mut(frame.stage);
+        wall.spans += 1;
+        wall.inclusive_us += elapsed;
+        wall.exclusive_us += elapsed.saturating_sub(frame.child_us);
+        wall.alloc_count += frame.alloc_count;
+        wall.alloc_bytes += frame.alloc_bytes;
+        match self.stack.last_mut() {
+            Some(parent) => parent.child_us += elapsed,
+            None => self.timings.root_us += elapsed,
+        }
     }
 
     /// The innermost open stage, if any.
@@ -191,6 +349,12 @@ impl Tracer {
         &self.ledger
     }
 
+    /// Read access to the per-stage wall-time/allocation totals
+    /// accumulated so far (spans still open are not counted).
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
     /// Number of currently open spans.
     pub fn open_spans(&self) -> usize {
         self.stack.len()
@@ -203,7 +367,16 @@ impl Tracer {
     /// # Panics
     /// If spans are still open — the instrumentation must be balanced
     /// before the run is summarized.
-    pub fn finish(mut self) -> SampleLedger {
+    pub fn finish(self) -> SampleLedger {
+        self.finish_with_timings().0
+    }
+
+    /// Like [`Tracer::finish`], additionally returning the per-stage
+    /// wall-time/allocation totals.
+    ///
+    /// # Panics
+    /// If spans are still open (see [`Tracer::finish`]).
+    pub fn finish_with_timings(mut self) -> (SampleLedger, StageTimings) {
         assert!(
             self.stack.is_empty(),
             "Tracer::finish with {} open span(s)",
@@ -218,7 +391,22 @@ impl Tracer {
             unattributed: self.ledger.unattributed,
         });
         self.sink.flush();
-        self.ledger
+        (
+            std::mem::take(&mut self.ledger),
+            std::mem::take(&mut self.timings),
+        )
+    }
+}
+
+/// Dropping a tracer without [`Tracer::finish`] (early return, panic
+/// unwind, an abandoned run) never panics, whatever the span stack
+/// looks like: the sink is flushed so everything recorded so far is on
+/// disk, leaving a well-defined *truncated* stream — whole JSONL lines
+/// only, possibly with enter events lacking matching exits and no
+/// ledger footer.
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        self.sink.flush();
     }
 }
 
@@ -396,6 +584,121 @@ mod tests {
                 unattributed: 0
             }
         );
+    }
+
+    #[test]
+    fn manual_clock_timestamps_are_deterministic() {
+        let run = || {
+            let buf = SharedBuffer::new();
+            let mut t = Tracer::new(Box::new(JsonlSink::new(buf.clone())))
+                .with_clock(Box::new(crate::ManualClock::with_step(5)));
+            t.enter(Stage::Sieve);
+            t.charge(3);
+            t.enter(Stage::AdkTest);
+            t.exit();
+            t.exit();
+            t.finish();
+            buf.contents()
+        };
+        assert_eq!(run(), run());
+        let text = String::from_utf8(run()).unwrap();
+        // Reads at 0, 5, 10, 15 µs: the sieve span is 15-0, adk is 10-5.
+        assert!(text.contains("\"t_us\":0"), "{text}");
+        assert!(text.contains("\"elapsed_us\":5,\"t_us\":10"), "{text}");
+        assert!(text.contains("\"elapsed_us\":15,\"t_us\":15"), "{text}");
+    }
+
+    #[test]
+    fn stage_timings_split_exclusive_from_inclusive() {
+        let mut t = Tracer::default().with_clock(Box::new(crate::ManualClock::with_step(10)));
+        t.enter(Stage::Sieve); // t=0
+        t.enter(Stage::AdkTest); // t=10
+        t.exit(); // t=20: adk inclusive 10
+        t.enter(Stage::AdkTest); // t=30
+        t.exit(); // t=40: adk inclusive 10
+        t.exit(); // t=50: sieve inclusive 50, exclusive 30
+        let (_, timings) = t.finish_with_timings();
+        let sieve = timings.stage(Stage::Sieve);
+        let adk = timings.stage(Stage::AdkTest);
+        assert_eq!((sieve.spans, sieve.inclusive_us, sieve.exclusive_us), (1, 50, 30));
+        assert_eq!((adk.spans, adk.inclusive_us, adk.exclusive_us), (2, 20, 20));
+        // Exclusive times telescope back to the root duration.
+        let excl_sum: u64 = timings.entries().iter().map(|(_, w)| w.exclusive_us).sum();
+        assert_eq!(excl_sum, timings.root_us());
+        assert_eq!(timings.root_us(), 50);
+    }
+
+    #[test]
+    fn advance_clock_adds_virtual_stall_time() {
+        let mut t = Tracer::default().with_clock(Box::new(crate::ManualClock::new()));
+        t.enter(Stage::Check);
+        t.advance_clock(250);
+        t.exit();
+        let (_, timings) = t.finish_with_timings();
+        assert_eq!(timings.stage(Stage::Check).inclusive_us, 250);
+        // ...and is ignored without a clock.
+        let mut t = Tracer::default().without_timing();
+        t.enter(Stage::Check);
+        t.advance_clock(250);
+        t.exit();
+        let (_, timings) = t.finish_with_timings();
+        assert_eq!(timings.stage(Stage::Check).inclusive_us, 0);
+        assert_eq!(timings.stage(Stage::Check).spans, 1);
+    }
+
+    #[test]
+    fn alloc_probe_attributes_to_innermost_stage() {
+        use crate::probe::test_probe::FakeProbe;
+        let probe = FakeProbe::default();
+        let sink = MemorySink::new();
+        let handle = sink.handle();
+        let mut t = Tracer::new(Box::new(sink))
+            .without_timing()
+            .with_alloc_probe(Box::new(probe.clone()));
+        probe.bump(1, 100); // before any span: discarded
+        t.enter(Stage::Sieve);
+        probe.bump(2, 200);
+        t.enter(Stage::AdkTest);
+        probe.bump(3, 300);
+        t.exit();
+        probe.bump(4, 400);
+        t.exit();
+        let (_, timings) = t.finish_with_timings();
+        let sieve = timings.stage(Stage::Sieve);
+        let adk = timings.stage(Stage::AdkTest);
+        assert_eq!((sieve.alloc_count, sieve.alloc_bytes), (6, 600));
+        assert_eq!((adk.alloc_count, adk.alloc_bytes), (3, 300));
+        let exits: Vec<(Stage, u64, u64)> = handle
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StageExit {
+                    stage,
+                    alloc_count: Some(c),
+                    alloc_bytes: Some(b),
+                    ..
+                } => Some((*stage, *c, *b)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, [(Stage::AdkTest, 3, 300), (Stage::Sieve, 6, 600)]);
+    }
+
+    #[test]
+    fn drop_with_open_spans_flushes_truncated_stream() {
+        let buf = SharedBuffer::new();
+        {
+            let mut t = Tracer::new(Box::new(JsonlSink::new(buf.clone())));
+            t.enter(Stage::Sieve);
+            t.charge(7);
+            t.enter(Stage::AdkTest);
+            // Dropped with two open spans: must not panic.
+        }
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains("\"ev\":\"enter\""));
+        assert!(!text.contains("ledger_total"));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition file (the fewbins `--metrics`
+output, rendered by the zero-dependency `histo-metrics` registry).
+
+Checks, per file:
+  1. structure: only `# HELP`, `# TYPE`, and sample lines; every sample's
+     metric family has a preceding `# TYPE` line, at most one HELP/TYPE
+     per family, and families are contiguous (no interleaving);
+  2. name hygiene: metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label
+     names match `[a-zA-Z_][a-zA-Z0-9_]*` without the reserved `__`
+     prefix, and every fewbins-owned family carries the `fewbins_`
+     namespace prefix with counters ending in `_total`;
+  3. samples: values parse as finite floats (counters and histogram
+     series additionally non-negative), no duplicate series (same name +
+     label set), label values properly quoted/escaped;
+  4. histograms: `_bucket` series carry an `le` label, bucket bounds are
+     sorted and end at `+Inf`, cumulative counts are monotone
+     non-decreasing, the `+Inf` bucket equals `_count`, and `_sum` /
+     `_count` series are present.
+
+Usage: scripts/check_metrics.py metrics.prom [more.prom ...]
+Exits non-zero on the first malformed file (after printing all findings).
+"""
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL = re.compile(r'^(?P<name>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "untyped"}
+
+# A histogram family `f` contributes sample families f_bucket/f_sum/f_count.
+HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name, histograms):
+    for suffix in HISTO_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in histograms:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw, lineno, errors):
+    labels = []
+    for part in filter(None, raw.split(",")):
+        m = LABEL.match(part)
+        if not m:
+            errors.append(f"line {lineno}: malformed label {part!r}")
+            continue
+        lname = m.group("name")
+        if not LABEL_NAME.match(lname):
+            errors.append(f"line {lineno}: bad label name {lname!r}")
+        if lname.startswith("__"):
+            errors.append(f"line {lineno}: label {lname!r} uses the reserved __ prefix")
+        labels.append((lname, m.group("value")))
+    return labels
+
+
+def check(path):
+    errors = []
+    types = {}  # family -> declared type
+    helps = set()
+    seen_series = set()
+    families_seen = []  # contiguity order of sample families
+    # (histogram family, non-le labels) -> list of (bound, count, lineno);
+    # bounds and cumulative counts are per labeled series, not per family.
+    buckets = {}
+    counts = {}  # (family, labels) -> _count value
+    histograms = set()
+    histo_parts = {}
+    samples = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                kind, rest = line[2:6], line[7:]
+                fields = rest.split(" ", 1)
+                fam = fields[0]
+                if not METRIC_NAME.match(fam):
+                    errors.append(f"line {lineno}: bad metric name {fam!r}")
+                if kind == "HELP":
+                    if fam in helps:
+                        errors.append(f"line {lineno}: duplicate HELP for {fam}")
+                    helps.add(fam)
+                else:
+                    declared = fields[1] if len(fields) > 1 else ""
+                    if declared not in TYPES:
+                        errors.append(f"line {lineno}: unknown type {declared!r} for {fam}")
+                    if fam in types:
+                        errors.append(f"line {lineno}: duplicate TYPE for {fam}")
+                    types[fam] = declared
+                    if declared == "histogram":
+                        histograms.add(fam)
+                        histo_parts[fam] = set()
+                continue
+            if line.startswith("#"):
+                errors.append(f"line {lineno}: stray comment {line!r}")
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: malformed sample {line!r}")
+                continue
+            samples += 1
+            name = m.group("name")
+            fam = base_family(name, histograms)
+            if fam not in types:
+                errors.append(f"line {lineno}: sample {name} has no # TYPE line")
+            if not fam.startswith("fewbins_"):
+                errors.append(f"line {lineno}: {fam} lacks the fewbins_ namespace")
+            if types.get(fam) == "counter" and not name.endswith("_total"):
+                errors.append(f"line {lineno}: counter {name} must end in _total")
+            if not families_seen or families_seen[-1] != fam:
+                if fam in families_seen:
+                    errors.append(f"line {lineno}: family {fam} is not contiguous")
+                families_seen.append(fam)
+            labels = parse_labels(m.group("labels") or "", lineno, errors)
+            series = (name, tuple(sorted(labels)))
+            if series in seen_series:
+                errors.append(f"line {lineno}: duplicate series {name}{dict(labels)}")
+            seen_series.add(series)
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"line {lineno}: bad value {m.group('value')!r}")
+                continue
+            if not math.isfinite(value) and m.group("value") != "+Inf":
+                errors.append(f"line {lineno}: non-finite value {m.group('value')!r}")
+            if types.get(fam) == "counter" and value < 0:
+                errors.append(f"line {lineno}: counter {name} is negative")
+            if fam in histograms:
+                histo_parts[fam].add(name[len(fam):])
+                if value < 0:
+                    errors.append(f"line {lineno}: histogram sample {name} is negative")
+                rest = tuple(sorted((k, v) for k, v in labels if k != "le"))
+                if name.endswith("_bucket"):
+                    le = dict(labels).get("le")
+                    if le is None:
+                        errors.append(f"line {lineno}: {name} has no le label")
+                    else:
+                        bound = math.inf if le == "+Inf" else float(le)
+                        buckets.setdefault((fam, rest), []).append((bound, value, lineno))
+                elif name.endswith("_count"):
+                    counts[(fam, rest)] = value
+    for fam in histograms:
+        missing = {"_bucket", "_sum", "_count"} - histo_parts.get(fam, set())
+        if missing and histo_parts.get(fam):
+            errors.append(f"histogram {fam} is missing {sorted(missing)}")
+    for (fam, rest), bounds in buckets.items():
+        series = f"{fam}{dict(rest)}"
+        for (b0, v0, _), (b1, v1, ln) in zip(bounds, bounds[1:]):
+            if b1 <= b0:
+                errors.append(f"line {ln}: {series} buckets out of order ({b1} after {b0})")
+            if v1 < v0:
+                errors.append(f"line {ln}: {series} cumulative counts decrease ({v1} < {v0})")
+        if not bounds or bounds[-1][0] != math.inf:
+            errors.append(f"histogram {series} has no +Inf bucket")
+        elif (fam, rest) in counts and bounds[-1][1] != counts[(fam, rest)]:
+            errors.append(
+                f"histogram {series}: +Inf bucket {bounds[-1][1]} != _count {counts[(fam, rest)]}"
+            )
+    if samples == 0:
+        errors.append("no samples at all")
+    for e in errors:
+        print(f"BAD {path}: {e}")
+    if not errors:
+        print(
+            f"ok {path}: {samples} sample(s), {len(types)} familie(s), "
+            f"{len(histograms)} histogram(s)"
+        )
+    return not errors
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    sys.exit(0 if all([check(p) for p in sys.argv[1:]]) else 1)

@@ -14,7 +14,14 @@ Checks, per trace file:
      layer) appear, the whole family must be present, `fault_events_total`
      must equal the sum of the five per-kind counters, and
      `fault_returned_draws` must reconcile with the ledger total
-     (returned = consumed - dropped + duplicated).
+     (returned = consumed - dropped + duplicated);
+  6. if timing fields appear (`t_us` on enter/exit, `elapsed_us` on
+     exit), `t_us` must be monotone non-decreasing across the stream,
+     every timed exit's `elapsed_us` must equal the delta to its
+     matching enter's `t_us`, and timing must be all-or-nothing per
+     span (a timed exit requires a timed enter and vice versa); the
+     optional alloc fields (`alloc_count`/`alloc_bytes`) must be
+     non-negative integers and travel as a pair.
 
 Usage: scripts/check_trace.py trace.jsonl [more.jsonl ...]
 Exits non-zero on the first malformed file (after printing all findings).
@@ -37,12 +44,14 @@ FAULT_FAMILY = FAULT_KINDS + ["fault_events_total", "fault_returned_draws"]
 
 def check(path):
     errors = []
-    stack = []  # stage names of open spans
+    stack = []  # (stage name, enter t_us or None) of open spans
     exit_samples = {}  # stage -> summed exclusive exit samples
     counters = {}  # counter name -> last value
     ledger_rows = {}
     ledger_total = None
     last_seq = -1
+    last_t = None  # last t_us seen (monotonicity)
+    timed_spans = 0
     events = 0
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
@@ -63,20 +72,47 @@ def check(path):
                 if ev["seq"] <= last_seq:
                     errors.append(f"line {lineno}: seq {ev['seq']} not increasing")
                 last_seq = ev["seq"]
+            t = ev.get("t_us")
+            if t is not None:
+                if not isinstance(t, int) or t < 0:
+                    errors.append(f"line {lineno}: t_us {t!r} is not a non-negative int")
+                elif last_t is not None and t < last_t:
+                    errors.append(f"line {lineno}: t_us went backwards ({t} < {last_t})")
+                else:
+                    last_t = t
+            for a in ("alloc_count", "alloc_bytes"):
+                v = ev.get(a)
+                if v is not None and (not isinstance(v, int) or v < 0):
+                    errors.append(f"line {lineno}: {a} {v!r} is not a non-negative int")
+            if ("alloc_count" in ev) != ("alloc_bytes" in ev):
+                errors.append(f"line {lineno}: alloc_count/alloc_bytes must travel as a pair")
             if kind == "enter":
                 if ev["depth"] != len(stack):
                     errors.append(f"line {lineno}: enter depth {ev['depth']} != stack {len(stack)}")
-                stack.append(ev["stage"])
+                stack.append((ev["stage"], t))
             elif kind == "exit":
                 if not stack:
                     errors.append(f"line {lineno}: exit with no open span")
                     continue
-                opened = stack.pop()
+                opened, enter_t = stack.pop()
                 if ev["stage"] != opened:
                     errors.append(f"line {lineno}: exit {ev['stage']!r} closes {opened!r}")
                 if ev["depth"] != len(stack):
                     errors.append(f"line {lineno}: exit depth {ev['depth']} != stack {len(stack)}")
                 exit_samples[ev["stage"]] = exit_samples.get(ev["stage"], 0) + ev["samples"]
+                elapsed = ev.get("elapsed_us")
+                if (elapsed is None) != (enter_t is None) or (t is None) != (enter_t is None):
+                    errors.append(
+                        f"line {lineno}: timing must be all-or-nothing per span "
+                        f"(enter t_us {enter_t!r}, exit t_us {t!r}, elapsed_us {elapsed!r})"
+                    )
+                elif elapsed is not None:
+                    timed_spans += 1
+                    if t - enter_t != elapsed:
+                        errors.append(
+                            f"line {lineno}: elapsed_us {elapsed} != t_us delta "
+                            f"{t} - {enter_t} = {t - enter_t}"
+                        )
             elif kind == "counter":
                 counters[ev["name"]] = ev["value"]
             elif kind == "ledger":
@@ -84,7 +120,7 @@ def check(path):
             elif kind == "ledger_total":
                 ledger_total = (ev["samples"], ev["unattributed"])
     if stack:
-        errors.append(f"{len(stack)} span(s) never exited: {stack}")
+        errors.append(f"{len(stack)} span(s) never exited: {[s for s, _ in stack]}")
     if ledger_total is None:
         errors.append("no ledger_total footer (trace truncated?)")
     else:
@@ -133,7 +169,10 @@ def check(path):
         print(f"BAD {path}: {e}")
     if not errors:
         total = ledger_total[0]
-        print(f"ok {path}: {events} events, {len(ledger_rows)} stage(s), {total} samples attributed")
+        print(
+            f"ok {path}: {events} events, {len(ledger_rows)} stage(s), "
+            f"{total} samples attributed, {timed_spans} timed span(s)"
+        )
     return not errors
 
 

@@ -6,6 +6,9 @@
 //! - `select-k`  — doubling search for the smallest adequate `k`.
 //! - `certify`   — offline DP bounds on `d_TV(D, H_k)` for an explicit pmf.
 //! - `sketch`    — agnostically learn a k-histogram sketch from samples.
+//! - `report`    — aggregate JSONL trace files into a per-stage table of
+//!   samples, wall time, and allocations (optionally against the
+//!   Theorem 1.1 theory terms when `--n`/`--k` are given).
 //!
 //! Input formats: `test`/`select-k`/`sketch` read whitespace-separated
 //! 0-based sample indices from a file (or stdin with `-`); `certify` reads
@@ -27,13 +30,16 @@
 //! ```sh
 //! fewbins test    --n 1000 --k 4 --eps 0.25 --scale 0.2 samples.txt
 //! fewbins test    --k 4 --faults eta=0.1,adv=point:0,seed=7 --retries 3 samples.txt
+//! fewbins test    --k 4 --trace run.jsonl --metrics run.prom samples.txt
 //! fewbins select-k --n 1000 --eps 0.2 samples.txt
 //! fewbins certify --k 3 pmf.txt
 //! fewbins sketch  --n 1000 --k 4 --eps 0.1 samples.txt
+//! fewbins report  --n 1000 --k 4 --eps 0.25 --json run.jsonl
 //! ```
 
 use few_bins::core::empirical::SampleCounts;
 use few_bins::prelude::*;
+use few_bins::report::{analyze_files, TheoryParams};
 use few_bins::stats::Poisson;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -197,59 +203,114 @@ fn report_faults(c: FaultCounters) {
     );
 }
 
-/// Prints the per-stage sample ledger to stderr.
-fn report_ledger(path: &str, ledger: &SampleLedger) {
-    eprintln!("fewbins: trace written to {path}; samples by stage:");
+/// Prints the per-stage sample ledger and wall-time summary to stderr.
+fn report_ledger(path: &str, ledger: &SampleLedger, timings: &StageTimings) {
+    eprintln!("fewbins: trace written to {path}; samples and wall time by stage:");
     for (stage, samples) in ledger.entries() {
-        eprintln!("fewbins:   {:>16}  {samples}", stage.name());
+        let wall = timings.stage(*stage);
+        eprintln!(
+            "fewbins:   {:>16}  {samples:>12}  {:>10} us",
+            stage.name(),
+            wall.exclusive_us
+        );
     }
     eprintln!(
-        "fewbins:   {:>16}  {}  (total {})",
+        "fewbins:   {:>16}  {:>12}  (total {} draws, {} us wall)",
         "unattributed",
         ledger.unattributed(),
-        ledger.total()
+        ledger.total(),
+        timings.root_us()
     );
+}
+
+/// Folds end-of-run aggregates the streaming [`MetricsSink`] cannot see —
+/// exclusive per-stage wall time needs the span-stack replay the tracer
+/// already did — into the registry before exposition.
+fn finalize_metrics(registry: &SharedRegistry, timings: &StageTimings) {
+    registry.with(|r| {
+        r.describe(
+            "fewbins_stage_wall_microseconds_total",
+            "Exclusive wall time per stage; sums to fewbins_wall_microseconds_total.",
+        );
+        r.describe(
+            "fewbins_wall_microseconds_total",
+            "Total wall time of all top-level stage spans.",
+        );
+        for (stage, wall) in timings.entries() {
+            r.counter_add(
+                "fewbins_stage_wall_microseconds_total",
+                &[("stage", stage.name())],
+                wall.exclusive_us,
+            );
+        }
+        r.counter_add("fewbins_wall_microseconds_total", &[], timings.root_us());
+    });
 }
 
 /// Runs `body` against `oracle` under the requested oracle stack: an
 /// optional tracing [`ScopedOracle`] (JSONL spans + sample ledger to
-/// `trace_path`) and an optional [`FaultyOracle`] running `plan`. The
-/// fault layer wraps the tracer, so injected fault counters are emitted
-/// into the trace stream and audited by `scripts/check_trace.py`.
+/// `trace_path`, with a [`MetricsSink`] tee when `metrics_path` asks for
+/// a Prometheus exposition dump) and an optional [`FaultyOracle`] running
+/// `plan`. The fault layer wraps the tracer, so injected fault counters
+/// are emitted into the trace stream (and metrics) and audited by
+/// `scripts/check_trace.py` / `scripts/check_metrics.py`.
 fn with_stack<T>(
     oracle: &mut dyn SampleOracle,
     trace_path: &Option<String>,
+    metrics_path: &Option<String>,
     plan: &Option<FaultPlan>,
     body: impl FnOnce(&mut dyn SampleOracle) -> Result<T, CliError>,
 ) -> Result<T, CliError> {
-    match (trace_path, plan) {
-        (None, None) => body(oracle),
-        (None, Some(plan)) => {
-            let mut faulty = FaultyOracle::new(oracle, plan.clone());
-            let result = body(&mut faulty);
-            report_faults(faulty.counters());
-            result
-        }
-        (Some(path), None) => {
-            let sink = JsonlSink::create(path)
-                .map_err(|e| CliError::input(format!("creating {path}: {e}")))?;
-            let mut scoped = ScopedOracle::new(oracle, Box::new(sink));
+    if trace_path.is_none() && metrics_path.is_none() {
+        return match plan {
+            None => body(oracle),
+            Some(plan) => {
+                let mut faulty = FaultyOracle::new(oracle, plan.clone());
+                let result = body(&mut faulty);
+                report_faults(faulty.counters());
+                result
+            }
+        };
+    }
+    let base: Box<dyn TraceSink> = match trace_path {
+        Some(path) => Box::new(
+            JsonlSink::create(path)
+                .map_err(|e| CliError::input(format!("creating {path}: {e}")))?,
+        ),
+        None => Box::new(NullSink),
+    };
+    let registry = metrics_path.as_ref().map(|_| SharedRegistry::new());
+    let sink: Box<dyn TraceSink> = match &registry {
+        Some(reg) => Box::new(MetricsSink::new(reg.clone(), base)),
+        None => base,
+    };
+    let scoped = ScopedOracle::new(oracle, sink);
+    let (result, ledger, timings) = match plan {
+        None => {
+            let mut scoped = scoped;
             let result = body(&mut scoped);
-            report_ledger(path, &scoped.finish());
-            result
+            let (ledger, timings) = scoped.finish_with_timings();
+            (result, ledger, timings)
         }
-        (Some(path), Some(plan)) => {
-            let sink = JsonlSink::create(path)
-                .map_err(|e| CliError::input(format!("creating {path}: {e}")))?;
-            let scoped = ScopedOracle::new(oracle, Box::new(sink));
+        Some(plan) => {
             let mut faulty = FaultyOracle::new(scoped, plan.clone());
             let result = body(&mut faulty);
             faulty.emit_counters();
             report_faults(faulty.counters());
-            report_ledger(path, &faulty.into_inner().finish());
-            result
+            let (ledger, timings) = faulty.into_inner().finish_with_timings();
+            (result, ledger, timings)
         }
+    };
+    if let Some(path) = trace_path {
+        report_ledger(path, &ledger, &timings);
     }
+    if let (Some(path), Some(reg)) = (metrics_path, registry) {
+        finalize_metrics(&reg, &timings);
+        std::fs::write(path, reg.render())
+            .map_err(|e| CliError::input(format!("writing {path}: {e}")))?;
+        eprintln!("fewbins: metrics written to {path}");
+    }
+    result
 }
 
 #[derive(Debug, Default)]
@@ -262,10 +323,13 @@ struct Args {
     scale: f64,
     no_resample: bool,
     trace: Option<String>,
+    metrics: Option<String>,
+    json: bool,
     faults: Option<String>,
     max_samples: Option<u64>,
     retries: usize,
     file: Option<String>,
+    files: Vec<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
@@ -311,6 +375,8 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             }
             "--no-resample" => args.no_resample = true,
             "--trace" => args.trace = Some(take("--trace")?),
+            "--metrics" => args.metrics = Some(take("--metrics")?),
+            "--json" => args.json = true,
             "--faults" => args.faults = Some(take("--faults")?),
             "--max-samples" => {
                 args.max_samples = Some(
@@ -327,7 +393,12 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     return Err("--retries must be at least 1".into());
                 }
             }
-            other if !other.starts_with("--") => args.file = Some(other.to_string()),
+            other if !other.starts_with("--") => {
+                if args.file.is_none() {
+                    args.file = Some(other.to_string());
+                }
+                args.files.push(other.to_string());
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -385,13 +456,18 @@ fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
         eprintln!(
-            "usage: fewbins <test|select-k|certify|sketch> [--n N] [--k K] [--eps E]\n\
+            "usage: fewbins <test|select-k|certify|sketch|report> [--n N] [--k K] [--eps E]\n\
              \x20      [--seed S] [--max-k M] [--scale F] [--no-resample]\n\
-             \x20      [--trace out.jsonl] [--faults SPEC] [--max-samples B] [--retries R]\n\
-             \x20      [file|-]\n\
+             \x20      [--trace out.jsonl] [--metrics out.prom] [--faults SPEC]\n\
+             \x20      [--max-samples B] [--retries R] [--json] [file|-]\n\
              \n\
              fault spec: comma-separated key=value pairs (or `none`), e.g.\n\
              \x20      eta=0.1,adv=point:0,budget=50000,dup=0.01,drop=0.02,stall=5x100,seed=9\n\
+             \n\
+             report: aggregates one or more --trace outputs into a per-stage\n\
+             \x20      table (samples, wall time, allocations); give --n/--k\n\
+             \x20      [--eps] to add Theorem 1.1 theory-term columns; --json\n\
+             \x20      switches the output format\n\
              \n\
              exit codes: 0 ok; 1 internal error; 2 usage; 3 bad input data;\n\
              \x20      4 samples exhausted (dataset or budget); 5 inconclusive"
@@ -439,7 +515,7 @@ fn run() -> Result<(), CliError> {
                 if let Some(budget) = args.max_samples {
                     runner = runner.with_budget(budget);
                 }
-                let outcome = with_stack(&mut oracle, &args.trace, &plan, |o| {
+                let outcome = with_stack(&mut oracle, &args.trace, &args.metrics, &plan, |o| {
                     runner.run(o, k, eps, &mut rng).map_err(CliError::from)
                 })?;
                 match outcome {
@@ -463,7 +539,7 @@ fn run() -> Result<(), CliError> {
                     }
                 }
             } else {
-                let decision = with_stack(&mut oracle, &args.trace, &None, |o| {
+                let decision = with_stack(&mut oracle, &args.trace, &args.metrics, &None, |o| {
                     tester.test(o, k, eps, &mut rng).map_err(CliError::from)
                 })?;
                 println!(
@@ -484,7 +560,7 @@ fn run() -> Result<(), CliError> {
             let plan = fold_budget(plan, args.max_samples);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
-            let sel = with_stack(&mut oracle, &args.trace, &plan, |o| {
+            let sel = with_stack(&mut oracle, &args.trace, &args.metrics, &plan, |o| {
                 doubling_search(&tester, o, eps, args.max_k, 3, true, &mut rng)
                     .map_err(CliError::from)
             })?;
@@ -494,8 +570,10 @@ fn run() -> Result<(), CliError> {
             }
         }
         "certify" => {
-            if args.trace.is_some() {
-                eprintln!("fewbins: warning: --trace is ignored by `certify` (no sampling)");
+            if args.trace.is_some() || args.metrics.is_some() {
+                eprintln!(
+                    "fewbins: warning: --trace/--metrics are ignored by `certify` (no sampling)"
+                );
             }
             if plan.is_some() || args.max_samples.is_some() {
                 eprintln!(
@@ -533,7 +611,7 @@ fn run() -> Result<(), CliError> {
             let plan = fold_budget(plan, args.max_samples);
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let learner = AgnosticLearner::default();
-            let sketch = with_stack(&mut oracle, &args.trace, &plan, |o| {
+            let sketch = with_stack(&mut oracle, &args.trace, &args.metrics, &plan, |o| {
                 learner.learn(o, k, eps, &mut rng).map_err(CliError::from)
             })?;
             println!("# k-histogram sketch: start_index level");
@@ -541,9 +619,30 @@ fn run() -> Result<(), CliError> {
                 println!("{} {:.9}", iv.lo(), sketch.levels()[j]);
             }
         }
+        "report" => {
+            if args.files.is_empty() {
+                return Err(CliError::usage(
+                    "report requires at least one trace file (from a `--trace` run)",
+                ));
+            }
+            let theory = match (args.n, args.k) {
+                (Some(n), Some(k)) => Some(TheoryParams {
+                    n,
+                    k,
+                    epsilon: args.eps.unwrap_or(0.25),
+                }),
+                _ => None,
+            };
+            let report = analyze_files(&args.files).map_err(CliError::input)?;
+            if args.json {
+                println!("{}", report.to_json(theory.as_ref()));
+            } else {
+                print!("{}", report.render_table(theory.as_ref()).render_text());
+            }
+        }
         other => {
             return Err(CliError::usage(format!(
-                "unknown subcommand `{other}` (expected test | select-k | certify | sketch)"
+                "unknown subcommand `{other}` (expected test | select-k | certify | sketch | report)"
             )))
         }
     }
@@ -622,6 +721,27 @@ mod tests {
         .unwrap();
         assert_eq!(args.trace.as_deref(), Some("out.jsonl"));
         assert!(parse_args(&strs(&["test", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_and_json_flags() {
+        let (_, args) = parse_args(&strs(&[
+            "test",
+            "--k",
+            "2",
+            "--metrics",
+            "out.prom",
+            "d.txt",
+        ]))
+        .unwrap();
+        assert_eq!(args.metrics.as_deref(), Some("out.prom"));
+        assert!(!args.json);
+        assert!(parse_args(&strs(&["test", "--metrics"])).is_err());
+        let (cmd, args) = parse_args(&strs(&["report", "--json", "a.jsonl", "b.jsonl"])).unwrap();
+        assert_eq!(cmd, "report");
+        assert!(args.json);
+        assert_eq!(args.files, vec!["a.jsonl".to_string(), "b.jsonl".to_string()]);
+        assert_eq!(args.file.as_deref(), Some("a.jsonl"));
     }
 
     #[test]

@@ -46,12 +46,14 @@
 //! |---|---|
 //! | [`core`] | distributions, partitions, k-histogram representations, distances, exact DPs |
 //! | [`stats`] | special functions, Poisson/binomial, amplification, confidence intervals |
-//! | [`trace`] | stage spans, counters, sample ledger, JSONL sinks |
+//! | [`trace`] | stage spans, counters, sample ledger, timing clocks, JSONL sinks |
+//! | [`metrics`] | zero-dep metrics registry, Prometheus exposition, trace-stream bridge |
 //! | [`sampling`] | alias sampler, counting oracles, workload generators |
 //! | [`faults`] | deterministic fault injection: Huber contamination, budget caps, stalls, duplicated/dropped draws |
 //! | [`testers`] | Algorithm 1 and all subroutines; baselines; model selection; the resilient runtime |
 //! | [`lowerbounds`] | the `Q_ε` family, `SuppSize`, the §4.2 reduction |
 //! | [`experiments`] | acceptance estimation, budget search, reports |
+//! | [`report`] | the `fewbins report` trace analyzer: per-stage samples, wall time, allocations vs theory |
 
 /// Re-export of `histo-core`.
 pub use histo_core as core;
@@ -61,6 +63,8 @@ pub use histo_experiments as experiments;
 pub use histo_faults as faults;
 /// Re-export of `histo-lowerbounds`.
 pub use histo_lowerbounds as lowerbounds;
+/// Re-export of `histo-metrics`.
+pub use histo_metrics as metrics;
 /// Re-export of `histo-sampling`.
 pub use histo_sampling as sampling;
 /// Re-export of `histo-stats`.
@@ -71,6 +75,8 @@ pub use histo_testers as testers;
 pub use histo_trace as trace;
 
 pub use histo_core::{Distribution, HistoError, Interval, KHistogram, Partition};
+
+pub mod report;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -88,5 +94,9 @@ pub mod prelude {
     pub use histo_testers::model_selection::doubling_search;
     pub use histo_testers::robust::{InconclusiveReason, Outcome, RobustRunner};
     pub use histo_testers::{Decision, Tester};
-    pub use histo_trace::{JsonlSink, NullSink, SampleLedger, Stage, TraceSink, Tracer};
+    pub use histo_metrics::{MetricsRegistry, MetricsSink, SharedRegistry};
+    pub use histo_trace::{
+        Clock, JsonlSink, ManualClock, NullSink, SampleLedger, Stage, StageTimings, TraceSink,
+        Tracer,
+    };
 }

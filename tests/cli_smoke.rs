@@ -150,6 +150,97 @@ fn faulty_traced_run_emits_trace_and_fault_summary() {
 }
 
 #[test]
+fn traced_run_reports_wall_time_and_metrics() {
+    // A clean traced run: the stderr ledger summary must carry per-stage
+    // wall time next to the sample counts, and `--metrics` must drop a
+    // Prometheus exposition file alongside the trace.
+    let data = dataset("walltime");
+    let trace = std::env::temp_dir().join(format!(
+        "fewbins_smoke_{}_wall_trace.jsonl",
+        std::process::id()
+    ));
+    let metrics = std::env::temp_dir().join(format!(
+        "fewbins_smoke_{}_wall_metrics.prom",
+        std::process::id()
+    ));
+    let out = fewbins(&[
+        "test",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("samples and wall time by stage"), "{err}");
+    assert!(err.contains(" us\n"), "per-stage wall column missing: {err}");
+    assert!(err.contains("us wall)"), "root wall footer missing: {err}");
+    assert!(err.contains("metrics written to"), "{err}");
+    let prom = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(prom.contains("# TYPE fewbins_draws_total counter"), "{prom}");
+    assert!(prom.contains("fewbins_stage_samples_total{stage="), "{prom}");
+    assert!(prom.contains("fewbins_wall_microseconds_total"), "{prom}");
+}
+
+#[test]
+fn report_subcommand_summarizes_a_trace() {
+    // `fewbins report` must round-trip a trace produced by `--trace`:
+    // human table by default, one JSON object with `--json`, and the
+    // theory columns only when (n, k) are supplied.
+    let data = dataset("report");
+    let trace = std::env::temp_dir().join(format!(
+        "fewbins_smoke_{}_report_trace.jsonl",
+        std::process::id()
+    ));
+    let out = fewbins(&[
+        "test",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    let out = fewbins(&["report", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("fewbins report"), "{table}");
+    assert!(table.contains("wall_us"), "{table}");
+    assert!(table.contains("(total)"), "{table}");
+
+    let out = fewbins(&[
+        "report",
+        "--json",
+        "--n",
+        "30",
+        "--k",
+        "2",
+        "--eps",
+        "0.3",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"total_samples\":"), "{json}");
+    assert!(json.contains("\"stages\":["), "{json}");
+    assert!(json.contains("\"theory_term\":"), "{json}");
+
+    // No trace files is a usage error; a malformed trace is bad input.
+    assert_eq!(code(&fewbins(&["report"])), 2);
+    let garbage = write_tmp("report_garbage", "not json\n");
+    let out = fewbins(&["report", garbage.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+}
+
+#[test]
 fn sketch_happy_path_exits_zero() {
     let data = dataset("sketch");
     let out = fewbins(&[
