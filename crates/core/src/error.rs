@@ -56,6 +56,22 @@ pub enum HistoError {
         /// Draws already served when the refused request arrived.
         drawn: u64,
     },
+    /// A supervised run overran its wall-clock deadline (`histo-recovery`'s
+    /// `DeadlineOracle`); the runtime converts this into a structured
+    /// `Inconclusive` outcome instead of hanging.
+    DeadlineExceeded {
+        /// The deadline, in microseconds of clock time.
+        deadline_us: u64,
+        /// Clock time already elapsed when the overrun was detected.
+        elapsed_us: u64,
+    },
+    /// A fault plan's `crash=<after_draws>` arm fired: simulated process
+    /// death for crash-recovery testing. Surfaces as CLI exit 1 (like a
+    /// real crash), leaving any checkpoint behind for `--resume`.
+    InjectedCrash {
+        /// Draws consumed when the simulated crash fired.
+        after_draws: u64,
+    },
 }
 
 impl fmt::Display for HistoError {
@@ -85,6 +101,18 @@ impl fmt::Display for HistoError {
                     f,
                     "sample budget exhausted: cap is {budget} draws, {drawn} already drawn"
                 )
+            }
+            HistoError::DeadlineExceeded {
+                deadline_us,
+                elapsed_us,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed_us} us elapsed against a {deadline_us} us budget"
+                )
+            }
+            HistoError::InjectedCrash { after_draws } => {
+                write!(f, "injected crash after {after_draws} draws")
             }
         }
     }
@@ -142,6 +170,22 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("1000"), "{msg}");
         assert!(msg.contains("exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn recovery_errors_display_their_numbers() {
+        let e = HistoError::DeadlineExceeded {
+            deadline_us: 5_000,
+            elapsed_us: 7_500,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("5000"), "{msg}");
+        assert!(msg.contains("7500"), "{msg}");
+        assert!(msg.contains("deadline"), "{msg}");
+        let e = HistoError::InjectedCrash { after_draws: 42 };
+        let msg = e.to_string();
+        assert!(msg.contains("42"), "{msg}");
+        assert!(msg.contains("crash"), "{msg}");
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   - **stalls** — simulated (optionally wall-clock) per-draw latency for
 //!     timeout testing;
 //!   - **duplicated / dropped draws** — stale-cache replays and draws
-//!     consumed but never delivered.
+//!     consumed but never delivered;
+//!   - **simulated crashes** — a typed `InjectedCrash` error once a draw
+//!     threshold is consumed, driving the `histo-recovery` checkpoint /
+//!     resume tests (the pre-crash stream stays bit-identical to a
+//!     crash-free run's).
 //!
 //! Every injected fault is tallied in [`FaultCounters`] and can be emitted
 //! as the `fault_events_*` counter family next to the sample ledger in a
@@ -32,5 +36,5 @@
 pub mod oracle;
 pub mod plan;
 
-pub use oracle::{FaultCounters, FaultyOracle};
+pub use oracle::{FaultCounters, FaultState, FaultyOracle};
 pub use plan::{Adversary, FaultPlan};

@@ -2,11 +2,10 @@
 
 use histo_core::empirical::SampleCounts;
 use histo_core::HistoError;
-use histo_sampling::SampleOracle;
+use histo_sampling::{PortableRng, SampleOracle};
 use histo_stats::Poisson;
 use histo_trace::{Tracer, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, RngCore};
 
 use crate::plan::FaultPlan;
 
@@ -66,18 +65,36 @@ impl FaultCounters {
 pub struct FaultyOracle<O: SampleOracle> {
     inner: O,
     plan: FaultPlan,
-    frng: StdRng,
+    frng: PortableRng,
     counters: FaultCounters,
     returned: u64,
     inner_start: u64,
     last: Option<usize>,
 }
 
+/// A serializable snapshot of a [`FaultyOracle`]'s internal state, captured
+/// by the `histo-recovery` checkpoint layer so a resumed run's fault
+/// schedule continues exactly where the crashed run stopped — same fault
+/// RNG stream position, same tallies, same stale-cache value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultState {
+    /// Exported fault RNG state (see [`PortableRng::state`]).
+    pub frng: [u64; 4],
+    /// Fault tallies at snapshot time.
+    pub counters: FaultCounters,
+    /// Draws returned to the caller at snapshot time.
+    pub returned: u64,
+    /// Honest inner draws consumed at snapshot time.
+    pub consumed: u64,
+    /// The stale-cache value duplicates replay.
+    pub last: Option<usize>,
+}
+
 impl<O: SampleOracle> FaultyOracle<O> {
     /// Wraps `inner` under `plan`. Fault decisions use a fresh RNG seeded
     /// with `plan.seed`.
     pub fn new(inner: O, plan: FaultPlan) -> Self {
-        let frng = StdRng::seed_from_u64(plan.seed);
+        let frng = PortableRng::seed_from(plan.seed);
         let inner_start = inner.samples_drawn();
         Self {
             inner,
@@ -110,9 +127,37 @@ impl<O: SampleOracle> FaultyOracle<O> {
         &self.inner
     }
 
+    /// Exclusive access to the wrapped oracle.
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
     /// Unwraps, returning the inner oracle.
     pub fn into_inner(self) -> O {
         self.inner
+    }
+
+    /// Snapshot of the fault layer's resumable state (checkpointing).
+    pub fn recovery_state(&self) -> FaultState {
+        FaultState {
+            frng: self.frng.state(),
+            counters: self.counters,
+            returned: self.returned,
+            consumed: self.consumed(),
+            last: self.last,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Self::recovery_state`]. The inner
+    /// oracle must already be positioned where it was at snapshot time
+    /// (its absolute draw count may differ — only the *relative* consumed
+    /// count is rebased onto it).
+    pub fn restore_recovery_state(&mut self, state: FaultState) {
+        self.frng = PortableRng::from_state(state.frng);
+        self.counters = state.counters;
+        self.returned = state.returned;
+        self.last = state.last;
+        self.inner_start = self.inner.samples_drawn().saturating_sub(state.consumed);
     }
 
     /// Emits the `fault_events_*` counter family (plus
@@ -140,6 +185,22 @@ impl<O: SampleOracle> FaultyOracle<O> {
             budget,
             drawn: self.consumed(),
         }
+    }
+
+    /// The `crash=<n>` pre-check: once `n` inner draws have been consumed,
+    /// every request dies with `InjectedCrash`. A pre-check (not a per-draw
+    /// fault) so batch requests stay batched and the pre-crash draw stream
+    /// is bit-identical to a crash-free run's.
+    fn crash_check(&self) -> Result<(), HistoError> {
+        if let Some(c) = self.plan.crash_after {
+            let consumed = self.consumed();
+            if consumed >= c {
+                return Err(HistoError::InjectedCrash {
+                    after_draws: consumed,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Records (and in wall-clock mode, sleeps through) a stall if this
@@ -191,6 +252,7 @@ impl<O: SampleOracle> SampleOracle for FaultyOracle<O> {
     }
 
     fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+        self.crash_check()?;
         if !self.plan.per_draw_faults() {
             if let Some(b) = self.plan.budget {
                 if self.consumed() >= b {
@@ -246,6 +308,7 @@ impl<O: SampleOracle> SampleOracle for FaultyOracle<O> {
         m: u64,
         rng: &mut dyn RngCore,
     ) -> Result<SampleCounts, HistoError> {
+        self.crash_check()?;
         if !self.plan.per_draw_faults() {
             if let Some(b) = self.plan.budget {
                 if self.consumed() + m > b {
@@ -270,6 +333,7 @@ impl<O: SampleOracle> SampleOracle for FaultyOracle<O> {
         m: f64,
         rng: &mut dyn RngCore,
     ) -> Result<SampleCounts, HistoError> {
+        self.crash_check()?;
         if !self.plan.per_draw_faults() {
             if let Some(b) = self.plan.budget {
                 if self.consumed() >= b {
@@ -518,6 +582,67 @@ mod tests {
         assert!(text.contains("fault_events_contaminated"), "{text}");
         assert!(text.contains("fault_events_total"), "{text}");
         assert!(text.contains("fault_returned_draws"), "{text}");
+    }
+
+    #[test]
+    fn crash_fires_on_consumed_draws_and_keeps_prefix_identical() {
+        // Pre-crash stream must be bit-identical to a crash-free run's,
+        // including batch fast paths (the crash arm is a pre-check, not a
+        // per-draw fault).
+        let mut rng1 = StdRng::seed_from_u64(41);
+        let mut plain = FaultyOracle::new(uniform(8), FaultPlan::none());
+        let direct: Vec<usize> = (0..60).map(|_| plain.draw(&mut rng1)).collect();
+        let dc = plain.draw_counts(40, &mut rng1);
+
+        let mut rng2 = StdRng::seed_from_u64(41);
+        let mut crashy = FaultyOracle::new(uniform(8), FaultPlan::none().with_crash(100));
+        let wrapped: Vec<usize> = (0..60).map(|_| crashy.draw(&mut rng2)).collect();
+        let dcw = crashy.draw_counts(40, &mut rng2);
+        assert_eq!(direct, wrapped);
+        assert_eq!(dc, dcw);
+        // 100 draws consumed: dead from here on, whatever the request.
+        let err = crashy.try_draw(&mut rng2).unwrap_err();
+        assert!(matches!(err, HistoError::InjectedCrash { after_draws: 100 }));
+        assert!(crashy.try_draw_counts(5, &mut rng2).is_err());
+        assert!(crashy.try_poissonized_counts(5.0, &mut rng2).is_err());
+        assert_eq!(crashy.consumed(), 100, "death consumes nothing further");
+    }
+
+    #[test]
+    fn recovery_state_round_trips_the_fault_stream() {
+        let plan = FaultPlan::none()
+            .with_contamination(0.2, Adversary::Mirror)
+            .with_duplicates(0.05)
+            .with_drops(0.05)
+            .with_seed(57);
+        // Uninterrupted reference run.
+        let mut rng1 = StdRng::seed_from_u64(61);
+        let mut full = FaultyOracle::new(uniform(16), plan.clone());
+        let mut reference: Vec<usize> = (0..300).map(|_| full.draw(&mut rng1)).collect();
+        let ref_tail = reference.split_off(150);
+
+        // Interrupted run: snapshot at draw 150, restore onto a *fresh*
+        // inner oracle positioned at the same stream point.
+        let mut rng2 = StdRng::seed_from_u64(61);
+        let mut first = FaultyOracle::new(uniform(16), plan.clone());
+        let head: Vec<usize> = (0..150).map(|_| first.draw(&mut rng2)).collect();
+        let state = first.recovery_state();
+
+        let mut replay_inner = uniform(16);
+        // Re-position the inner oracle by replaying its consumed draws
+        // against an identical sampling-RNG prefix.
+        let mut rng3 = StdRng::seed_from_u64(61);
+        for _ in 0..state.consumed {
+            replay_inner.draw(&mut rng3);
+        }
+        let mut resumed = FaultyOracle::new(replay_inner, plan);
+        resumed.restore_recovery_state(state);
+        assert_eq!(resumed.recovery_state(), state, "snapshot must round-trip");
+        let tail: Vec<usize> = (0..150).map(|_| resumed.draw(&mut rng3)).collect();
+        assert_eq!(head, reference);
+        assert_eq!(tail, ref_tail);
+        assert_eq!(resumed.counters(), full.counters());
+        assert_eq!(resumed.consumed(), full.consumed());
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct FaultPlan {
     /// guarantees only in the wall-clock sense — the sample stream is
     /// unaffected either way.
     pub real_sleep: bool,
+    /// Simulated process death: once this many inner draws have been
+    /// consumed, every request fails with `HistoError::InjectedCrash`.
+    /// Unlike the per-draw faults this is a pre-check on the consumed
+    /// count, so batch requests stay batched and the pre-crash draw
+    /// stream is bit-identical to a crash-free run's.
+    pub crash_after: Option<u64>,
     /// Seed of the dedicated fault RNG.
     pub seed: u64,
 }
@@ -104,6 +110,7 @@ impl FaultPlan {
             stall_us: 0,
             stall_every: 0,
             real_sleep: false,
+            crash_after: None,
             seed: 0,
         }
     }
@@ -147,6 +154,21 @@ impl FaultPlan {
         self
     }
 
+    /// Simulates process death after `after_draws` consumed inner draws.
+    pub fn with_crash(mut self, after_draws: u64) -> Self {
+        self.crash_after = Some(after_draws);
+        self
+    }
+
+    /// This plan with any crash arm removed — the resume invocation's view
+    /// of the schedule (a restored run would otherwise re-crash instantly,
+    /// since the consumed count is already past the threshold). Checkpoint
+    /// parameter fingerprints are computed over this stripped form.
+    pub fn without_crash(mut self) -> Self {
+        self.crash_after = None;
+        self
+    }
+
     /// Sets the fault RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -160,6 +182,7 @@ impl FaultPlan {
             && self.dup_prob == 0.0
             && self.drop_prob == 0.0
             && self.stall_every == 0
+            && self.crash_after.is_none()
     }
 
     /// True when any *per-draw* fault is active (contamination, duplicates,
@@ -199,6 +222,8 @@ impl FaultPlan {
     /// - `dup=<f64>` / `drop=<f64>` — duplicate / drop probabilities
     /// - `stall=<us>` or `stall=<us>x<every>` — stall `<us>` microseconds
     ///   every `<every>` draws (default every draw)
+    /// - `crash=<u64>` — simulated process death after that many consumed
+    ///   draws (every later request fails with `InjectedCrash`)
     /// - `seed=<u64>` — fault RNG seed
     ///
     /// # Errors
@@ -274,6 +299,13 @@ impl FaultPlan {
                     plan.stall_us = us;
                     plan.stall_every = every;
                 }
+                "crash" => {
+                    plan.crash_after = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("crash: not an integer: `{value}`"))?,
+                    );
+                }
                 "seed" => {
                     plan.seed = value
                         .parse::<u64>()
@@ -320,6 +352,9 @@ impl fmt::Display for FaultPlan {
         if self.stall_every > 0 {
             parts.push(format!("stall={}x{}", self.stall_us, self.stall_every));
         }
+        if let Some(c) = self.crash_after {
+            parts.push(format!("crash={c}"));
+        }
         if self.seed != 0 {
             parts.push(format!("seed={}", self.seed));
         }
@@ -356,6 +391,11 @@ mod tests {
                 .with_budget(9_999)
                 .with_seed(42),
             FaultPlan::none().with_contamination(0.5, Adversary::Uniform),
+            FaultPlan::none().with_crash(4_096).with_seed(3),
+            FaultPlan::none()
+                .with_drops(0.05)
+                .with_crash(512)
+                .with_budget(10_000),
         ];
         for p in plans {
             let spec = p.to_string();
@@ -379,6 +419,11 @@ mod tests {
         assert_eq!((p.stall_us, p.stall_every), (250, 1));
         let p = FaultPlan::parse("stall=5x100").unwrap();
         assert_eq!((p.stall_us, p.stall_every), (5, 100));
+        let p = FaultPlan::parse("crash=512").unwrap();
+        assert_eq!(p.crash_after, Some(512));
+        assert!(!p.per_draw_faults(), "crash must not de-batch draws");
+        assert!(!p.is_none());
+        assert!(p.without_crash().is_none());
     }
 
     #[test]

@@ -1,0 +1,1106 @@
+//! Versioned, checksummed checkpoints for long tester runs.
+//!
+//! A [`Checkpoint`] captures everything a `fewbins` run needs to resume
+//! bit-identically after a crash: the portable RNG state, the
+//! [`RobustRunner`](histo_testers::robust::RobustRunner) round schedule
+//! ([`RunProgress`]), the in-flight round's pipeline boundary
+//! ([`PipelinePoint`]), the fault-injection layer's internal state
+//! ([`FaultState`]), and the trace continuation point (sequence number,
+//! partial [`SampleLedger`], accumulated [`StageTimings`]).
+//!
+//! ## File format
+//!
+//! A checkpoint is a small, line-oriented text file:
+//!
+//! ```text
+//! fewbins-checkpoint v1
+//! crc 1A2B3C4D
+//! id 3
+//! fingerprint n=300|k=2|eps=0.4|...
+//! rng 0123456789abcdef ... (4 hex words)
+//! replay_drawn 1234
+//! resume_seq 57
+//! progress round=1 accepts=0 rejects=0 failed=1 run_start=0 round_start=620
+//! failure panicked approx_part injected flake at draw 10
+//! point hypothesis 12 300 0,25,50,... 3fb0624dd2f1a9fc,...
+//! fault rng=..:..:..:.. contaminated=3 duplicated=0 dropped=0 stalled=0 budget_hits=0 returned=620 consumed=623 last=17
+//! ledger approx_part=600 learner=20 unattributed=0
+//! timings approx_part=3:120:100:0:0 root=120
+//! end
+//! ```
+//!
+//! The `crc` line is an IEEE CRC-32 over every byte after its own line;
+//! floating-point levels are stored as exact `f64::to_bits` hex so a
+//! round trip is bit-faithful. Loading is strict: a bad magic line is a
+//! [`CheckpointError::VersionMismatch`], a missing `end` terminator is
+//! [`CheckpointError::Truncated`], and any checksum or grammar violation
+//! is [`CheckpointError::Corrupt`] — never a panic, never a silent
+//! restart from scratch.
+//!
+//! Persistence is atomic: [`Checkpoint::save_atomic`] writes to a
+//! sibling `.tmp` file, fsyncs, then renames over the target, so a crash
+//! mid-save leaves either the previous checkpoint or the new one, never
+//! a torn file.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use histo_core::{HistoError, KHistogram, Partition};
+use histo_faults::FaultState;
+use histo_testers::histogram_tester::PipelinePoint;
+use histo_testers::robust::{InconclusiveReason, ResumeState, RunProgress};
+use histo_testers::sieve::SieveOutcome;
+use histo_trace::{SampleLedger, Stage, StageTimings, StageWall};
+
+/// Magic + version line. Bump the version when the grammar changes;
+/// old binaries then refuse new files with a typed error instead of
+/// misparsing them.
+pub const MAGIC: &str = "fewbins-checkpoint v1";
+
+/// Why a checkpoint could not be loaded (or saved). Every variant maps
+/// to CLI exit code 3 (bad input) — corruption is an input problem, not
+/// an internal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The magic/version line is wrong: written by a different (or
+    /// future) format version, or not a checkpoint at all.
+    VersionMismatch {
+        /// The first line actually found.
+        found: String,
+    },
+    /// The file parses as a checkpoint frame but its contents are
+    /// damaged: checksum mismatch or grammar violation.
+    Corrupt {
+        /// What failed, for the error message.
+        reason: String,
+    },
+    /// The file ends before the `end` terminator — an interrupted write
+    /// outside the atomic rename path (e.g. a copied partial file).
+    Truncated,
+    /// The checkpoint was taken by a run with different parameters and
+    /// must not seed this one.
+    ParamsMismatch {
+        /// Fingerprint the resuming run expects.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version mismatch: expected '{MAGIC}', found '{found}'"
+            ),
+            CheckpointError::Corrupt { reason } => write!(f, "checkpoint corrupt: {reason}"),
+            CheckpointError::Truncated => {
+                write!(f, "checkpoint truncated: missing 'end' terminator")
+            }
+            CheckpointError::ParamsMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run: expected fingerprint '{expected}', found '{found}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for HistoError {
+    /// Checkpoint failures inside a run surface as the tester's typed
+    /// parameter error (stage `"checkpoint"`), which the CLI maps to
+    /// exit code 3.
+    fn from(e: CheckpointError) -> Self {
+        HistoError::InvalidParameter {
+            name: "checkpoint",
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// A full resumable snapshot of a supervised `fewbins` run at a
+/// pipeline boundary. See the module docs for the file format.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Monotone checkpoint counter within a logical run (continues
+    /// across resumes; pairs `checkpoint_save`/`checkpoint_load` trace
+    /// counters when stitching segments).
+    pub id: u64,
+    /// Opaque run-parameter fingerprint; [`Checkpoint::verify_fingerprint`]
+    /// refuses to resume under different parameters.
+    pub fingerprint: String,
+    /// Portable sampling-RNG state ([`histo_sampling::PortableRng::state`]).
+    pub rng: [u64; 4],
+    /// Absolute draws consumed from the base oracle, for repositioning a
+    /// replayable source on resume.
+    pub replay_drawn: u64,
+    /// The tracer sequence number the resumed segment starts at (the
+    /// slot consumed by the `checkpoint_save` counter, reused by
+    /// `checkpoint_load`).
+    pub resume_seq: u64,
+    /// Round-schedule position of the wrapping runner.
+    pub progress: RunProgress,
+    /// Pipeline boundary inside the in-flight round.
+    pub point: PipelinePoint,
+    /// Fault-injection layer state (fault RNG, counters, accounting).
+    pub fault: FaultState,
+    /// Stage-attributed draw counts so far.
+    pub ledger: SampleLedger,
+    /// Accumulated per-stage wall/allocation totals so far.
+    pub timings: StageTimings,
+}
+
+impl Checkpoint {
+    /// Converts into the runner-facing resume position.
+    pub fn resume_state(&self) -> ResumeState {
+        ResumeState {
+            progress: self.progress.clone(),
+            point: self.point.clone(),
+        }
+    }
+
+    /// Fails with [`CheckpointError::ParamsMismatch`] unless the stored
+    /// fingerprint matches `expected`.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn verify_fingerprint(&self, expected: &str) -> Result<(), CheckpointError> {
+        if self.fingerprint == expected {
+            Ok(())
+        } else {
+            Err(CheckpointError::ParamsMismatch {
+                expected: expected.to_string(),
+                found: self.fingerprint.clone(),
+            })
+        }
+    }
+
+    /// Renders the complete file contents (magic, checksum, payload).
+    pub fn render(&self) -> String {
+        let payload = self.render_payload();
+        format!("{MAGIC}\ncrc {:08X}\n{payload}", crc32(payload.as_bytes()))
+    }
+
+    fn render_payload(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("id {}\n", self.id));
+        s.push_str(&format!("fingerprint {}\n", self.fingerprint));
+        s.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x}\n",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        ));
+        s.push_str(&format!("replay_drawn {}\n", self.replay_drawn));
+        s.push_str(&format!("resume_seq {}\n", self.resume_seq));
+        let p = &self.progress;
+        s.push_str(&format!(
+            "progress round={} accepts={} rejects={} failed={} run_start={} round_start={}\n",
+            p.next_round, p.accepts, p.rejects, p.failed, p.run_start_drawn, p.round_start_drawn
+        ));
+        s.push_str(&render_failure(&p.last_failure));
+        s.push_str(&render_point(&self.point));
+        let f = &self.fault;
+        s.push_str(&format!(
+            "fault rng={:016x}:{:016x}:{:016x}:{:016x} contaminated={} duplicated={} dropped={} \
+             stalled={} budget_hits={} returned={} consumed={} last={}\n",
+            f.frng[0],
+            f.frng[1],
+            f.frng[2],
+            f.frng[3],
+            f.counters.contaminated,
+            f.counters.duplicated,
+            f.counters.dropped,
+            f.counters.stalled,
+            f.counters.budget_hits,
+            f.returned,
+            f.consumed,
+            match f.last {
+                Some(i) => i.to_string(),
+                None => "none".to_string(),
+            }
+        ));
+        s.push_str("ledger");
+        for (stage, count) in self.ledger.entries() {
+            s.push_str(&format!(" {}={}", stage.name(), count));
+        }
+        s.push_str(&format!(" unattributed={}\n", self.ledger.unattributed()));
+        s.push_str("timings");
+        for (stage, w) in self.timings.entries() {
+            s.push_str(&format!(
+                " {}={}:{}:{}:{}:{}",
+                stage.name(),
+                w.spans,
+                w.inclusive_us,
+                w.exclusive_us,
+                w.alloc_count,
+                w.alloc_bytes
+            ));
+        }
+        s.push_str(&format!(" root={}\n", self.timings.root_us()));
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses the complete file contents produced by [`Checkpoint::render`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::VersionMismatch`] on a bad magic line,
+    /// [`CheckpointError::Truncated`] when the `end` terminator is
+    /// missing, [`CheckpointError::Corrupt`] on checksum or grammar
+    /// violations.
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let (magic, rest) = split_line(text).ok_or(CheckpointError::Truncated)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::VersionMismatch {
+                found: magic.to_string(),
+            });
+        }
+        let (crc_line, payload) = split_line(rest).ok_or(CheckpointError::Truncated)?;
+        // Truncation (no terminator) is diagnosed before the checksum:
+        // "resume from the last good checkpoint" beats "file is garbage".
+        if !payload.lines().any(|l| l == "end") {
+            return Err(CheckpointError::Truncated);
+        }
+        let stored = crc_line
+            .strip_prefix("crc ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| CheckpointError::Corrupt {
+                reason: format!("bad crc line '{crc_line}'"),
+            })?;
+        let actual = crc32(payload.as_bytes());
+        if stored != actual {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("crc mismatch: stored {stored:08X}, computed {actual:08X}"),
+            });
+        }
+        let mut lines = payload.lines();
+        let id = parse_prefixed(&mut lines, "id ")?;
+        let fingerprint = expect_line(&mut lines, "fingerprint ")?.to_string();
+        let rng = parse_hex4(expect_line(&mut lines, "rng ")?, ' ')?;
+        let replay_drawn = parse_prefixed(&mut lines, "replay_drawn ")?;
+        let resume_seq = parse_prefixed(&mut lines, "resume_seq ")?;
+        let progress_line = expect_line(&mut lines, "progress ")?;
+        let failure_line = expect_line(&mut lines, "failure ")?;
+        let progress = parse_progress(progress_line, failure_line)?;
+        let point = parse_point(expect_line(&mut lines, "point ")?)?;
+        let fault = parse_fault(expect_line(&mut lines, "fault ")?)?;
+        let ledger = parse_ledger(expect_line(&mut lines, "ledger")?)?;
+        let timings = parse_timings(expect_line(&mut lines, "timings")?)?;
+        match lines.next() {
+            Some("end") => {}
+            other => {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!("expected 'end', found {other:?}"),
+                })
+            }
+        }
+        Ok(Checkpoint {
+            id,
+            fingerprint,
+            rng,
+            replay_drawn,
+            resume_seq,
+            progress,
+            point,
+            fault,
+            ledger,
+            timings,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: sibling `.tmp` file,
+    /// fsync, rename. A crash mid-save never leaves a torn checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        let io = |op: &'static str, tmp: &Path| {
+            let tmp = tmp.display().to_string();
+            move |e: std::io::Error| CheckpointError::Io(format!("{op} {tmp}: {e}"))
+        };
+        let mut file = fs::File::create(&tmp).map_err(io("create", &tmp))?;
+        file.write_all(self.render().as_bytes())
+            .map_err(io("write", &tmp))?;
+        file.sync_all().map_err(io("sync", &tmp))?;
+        drop(file);
+        fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))
+    }
+
+    /// Reads and parses the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read, otherwise as
+    /// [`Checkpoint::parse`].
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Checkpoint::parse(&text)
+    }
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), bitwise — no table,
+/// no dependency; checkpoints are small enough that speed is irrelevant.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Stage names a checkpoint can mention beyond the fixed
+/// [`Stage::name`] set: the two synthetic failure-attribution stages of
+/// the tester runtime. `Stage::Other` payloads are `&'static str`, so
+/// deserialization must intern through this table.
+fn intern_stage_name(name: &str) -> Option<&'static str> {
+    const KNOWN: &[&str] = &["params", "checkpoint"];
+    KNOWN.iter().find(|&&k| k == name).copied()
+}
+
+fn parse_stage(name: &str) -> Result<Stage, CheckpointError> {
+    Stage::from_name(name)
+        .or_else(|| intern_stage_name(name).map(Stage::Other))
+        .ok_or_else(|| CheckpointError::Corrupt {
+            reason: format!("unknown stage '{name}'"),
+        })
+}
+
+fn split_line(text: &str) -> Option<(&str, &str)> {
+    let i = text.find('\n')?;
+    Some((&text[..i], &text[i + 1..]))
+}
+
+fn expect_line<'a>(
+    lines: &mut std::str::Lines<'a>,
+    prefix: &str,
+) -> Result<&'a str, CheckpointError> {
+    let line = lines.next().ok_or(CheckpointError::Truncated)?;
+    line.strip_prefix(prefix)
+        .ok_or_else(|| CheckpointError::Corrupt {
+            reason: format!("expected '{}...', found '{line}'", prefix.trim_end()),
+        })
+}
+
+fn parse_prefixed<T: std::str::FromStr>(
+    lines: &mut std::str::Lines<'_>,
+    prefix: &str,
+) -> Result<T, CheckpointError> {
+    let value = expect_line(lines, prefix)?;
+    value.parse().map_err(|_| CheckpointError::Corrupt {
+        reason: format!("bad value '{value}' for '{}'", prefix.trim_end()),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CheckpointError> {
+    s.parse().map_err(|_| CheckpointError::Corrupt {
+        reason: format!("bad {what} '{s}'"),
+    })
+}
+
+fn parse_hex_u64(s: &str, what: &str) -> Result<u64, CheckpointError> {
+    u64::from_str_radix(s, 16).map_err(|_| CheckpointError::Corrupt {
+        reason: format!("bad {what} '{s}'"),
+    })
+}
+
+fn parse_hex4(s: &str, sep: char) -> Result<[u64; 4], CheckpointError> {
+    let words: Vec<&str> = s.split(sep).collect();
+    if words.len() != 4 {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("expected 4 RNG words, found {} in '{s}'", words.len()),
+        });
+    }
+    let mut out = [0u64; 4];
+    for (o, w) in out.iter_mut().zip(&words) {
+        *o = parse_hex_u64(w, "RNG word")?;
+    }
+    Ok(out)
+}
+
+fn parse_kv<'a>(token: &'a str, key: &str) -> Result<&'a str, CheckpointError> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| CheckpointError::Corrupt {
+            reason: format!("expected '{key}=...', found '{token}'"),
+        })
+}
+
+fn parse_progress(
+    progress: &str,
+    failure: &str,
+) -> Result<RunProgress, CheckpointError> {
+    let mut t = progress.split(' ');
+    let mut next = |key: &str| -> Result<&str, CheckpointError> {
+        parse_kv(
+            t.next().ok_or(CheckpointError::Corrupt {
+                reason: format!("progress line missing '{key}'"),
+            })?,
+            key,
+        )
+    };
+    Ok(RunProgress {
+        next_round: parse_num(next("round")?, "round")?,
+        accepts: parse_num(next("accepts")?, "accepts")?,
+        rejects: parse_num(next("rejects")?, "rejects")?,
+        failed: parse_num(next("failed")?, "failed")?,
+        run_start_drawn: parse_num(next("run_start")?, "run_start")?,
+        round_start_drawn: parse_num(next("round_start")?, "round_start")?,
+        last_failure: parse_failure(failure)?,
+    })
+}
+
+fn render_failure(failure: &Option<(InconclusiveReason, Option<&'static str>)>) -> String {
+    let stage_of = |s: &Option<&'static str>| s.unwrap_or("-");
+    match failure {
+        None => "failure none\n".to_string(),
+        Some((InconclusiveReason::BudgetExhausted { budget, drawn }, stage)) => {
+            format!("failure exhausted {} {budget} {drawn}\n", stage_of(stage))
+        }
+        Some((InconclusiveReason::StagePanicked { message }, stage)) => {
+            format!(
+                "failure panicked {} {}\n",
+                stage_of(stage),
+                escape_message(message)
+            )
+        }
+        Some((
+            InconclusiveReason::DeadlineExceeded {
+                deadline_us,
+                elapsed_us,
+            },
+            stage,
+        )) => format!(
+            "failure deadline {} {deadline_us} {elapsed_us}\n",
+            stage_of(stage)
+        ),
+        Some((
+            InconclusiveReason::NoQuorum {
+                accepts,
+                rejects,
+                failed_rounds,
+            },
+            stage,
+        )) => format!(
+            "failure noquorum {} {accepts} {rejects} {failed_rounds}\n",
+            stage_of(stage)
+        ),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_failure(
+    line: &str,
+) -> Result<Option<(InconclusiveReason, Option<&'static str>)>, CheckpointError> {
+    if line == "none" {
+        return Ok(None);
+    }
+    let corrupt = |reason: String| CheckpointError::Corrupt { reason };
+    let (kind, rest) = line
+        .split_once(' ')
+        .ok_or_else(|| corrupt(format!("bad failure line '{line}'")))?;
+    let (stage_name, args) = rest
+        .split_once(' ')
+        .ok_or_else(|| corrupt(format!("bad failure line '{line}'")))?;
+    let stage = if stage_name == "-" {
+        None
+    } else {
+        Some(parse_stage(stage_name)?.name())
+    };
+    let reason = match kind {
+        "exhausted" => {
+            let (budget, drawn) = args
+                .split_once(' ')
+                .ok_or_else(|| corrupt(format!("bad exhausted failure '{line}'")))?;
+            InconclusiveReason::BudgetExhausted {
+                budget: parse_num(budget, "budget")?,
+                drawn: parse_num(drawn, "drawn")?,
+            }
+        }
+        "panicked" => InconclusiveReason::StagePanicked {
+            message: unescape_message(args),
+        },
+        "deadline" => {
+            let (deadline, elapsed) = args
+                .split_once(' ')
+                .ok_or_else(|| corrupt(format!("bad deadline failure '{line}'")))?;
+            InconclusiveReason::DeadlineExceeded {
+                deadline_us: parse_num(deadline, "deadline_us")?,
+                elapsed_us: parse_num(elapsed, "elapsed_us")?,
+            }
+        }
+        "noquorum" => {
+            let parts: Vec<&str> = args.split(' ').collect();
+            if parts.len() != 3 {
+                return Err(corrupt(format!("bad noquorum failure '{line}'")));
+            }
+            InconclusiveReason::NoQuorum {
+                accepts: parse_num(parts[0], "accepts")?,
+                rejects: parse_num(parts[1], "rejects")?,
+                failed_rounds: parse_num(parts[2], "failed_rounds")?,
+            }
+        }
+        other => return Err(corrupt(format!("unknown failure kind '{other}'"))),
+    };
+    Ok(Some((reason, stage)))
+}
+
+/// Panic messages can contain anything; the failure line is
+/// newline-delimited, so escape the two bytes that would break framing.
+fn escape_message(msg: &str) -> String {
+    msg.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape_message(escaped: &str) -> String {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn render_csv<T: fmt::Display>(items: &[T]) -> String {
+    if items.is_empty() {
+        return "-".to_string();
+    }
+    items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_csv<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, CheckpointError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|t| parse_num(t, what)).collect()
+}
+
+fn render_partition(p: &Partition) -> String {
+    let starts: Vec<usize> = p.intervals().iter().map(|iv| iv.lo()).collect();
+    format!("{} {}", p.n(), render_csv(&starts))
+}
+
+fn render_levels(h: &KHistogram) -> String {
+    h.levels()
+        .iter()
+        .map(|l| format!("{:016x}", l.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_partition(n: &str, starts: &str) -> Result<Partition, CheckpointError> {
+    let n: usize = parse_num(n, "domain size")?;
+    let starts: Vec<usize> = parse_csv(starts, "interval start")?;
+    Partition::from_starts(n, &starts).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("bad partition: {e}"),
+    })
+}
+
+fn parse_histogram(n: &str, starts: &str, levels: &str) -> Result<KHistogram, CheckpointError> {
+    let partition = parse_partition(n, starts)?;
+    let levels: Vec<f64> = levels
+        .split(',')
+        .map(|t| parse_hex_u64(t, "level bits").map(f64::from_bits))
+        .collect::<Result<_, _>>()?;
+    KHistogram::new(partition, levels).map_err(|e| CheckpointError::Corrupt {
+        reason: format!("bad hypothesis: {e}"),
+    })
+}
+
+fn render_point(point: &PipelinePoint) -> String {
+    match point {
+        PipelinePoint::Start => "point start\n".to_string(),
+        PipelinePoint::PartitionDone { partition } => {
+            format!("point partition {}\n", render_partition(partition))
+        }
+        PipelinePoint::HypothesisDone {
+            partition_size,
+            d_hat,
+        } => format!(
+            "point hypothesis {partition_size} {} {}\n",
+            render_partition(d_hat.partition()),
+            render_levels(d_hat)
+        ),
+        PipelinePoint::SieveDone {
+            partition_size,
+            d_hat,
+            sieve,
+        } => format!(
+            "point sieve {partition_size} {} {} {} {} {} {}\n",
+            render_partition(d_hat.partition()),
+            render_levels(d_hat),
+            u8::from(sieve.rejected),
+            sieve.rounds_used,
+            u8::from(sieve.early_accept),
+            render_csv(&sieve.discarded)
+        ),
+    }
+}
+
+fn parse_point(line: &str) -> Result<PipelinePoint, CheckpointError> {
+    let corrupt = |reason: String| CheckpointError::Corrupt { reason };
+    let mut t = line.split(' ');
+    let kind = t.next().unwrap_or("");
+    let mut next = |what: &str| -> Result<&str, CheckpointError> {
+        t.next()
+            .ok_or_else(|| corrupt(format!("point line missing {what}: '{line}'")))
+    };
+    let point = match kind {
+        "start" => PipelinePoint::Start,
+        "partition" => PipelinePoint::PartitionDone {
+            partition: parse_partition(next("domain size")?, next("starts")?)?,
+        },
+        "hypothesis" => PipelinePoint::HypothesisDone {
+            partition_size: parse_num(next("partition size")?, "partition size")?,
+            d_hat: parse_histogram(next("domain size")?, next("starts")?, next("levels")?)?,
+        },
+        "sieve" => PipelinePoint::SieveDone {
+            partition_size: parse_num(next("partition size")?, "partition size")?,
+            d_hat: parse_histogram(next("domain size")?, next("starts")?, next("levels")?)?,
+            sieve: SieveOutcome {
+                rejected: next("rejected flag")? == "1",
+                rounds_used: parse_num(next("rounds used")?, "rounds used")?,
+                early_accept: next("early flag")? == "1",
+                discarded: parse_csv(next("discarded")?, "discarded index")?,
+            },
+        },
+        other => return Err(corrupt(format!("unknown point kind '{other}'"))),
+    };
+    if let Some(extra) = t.next() {
+        return Err(corrupt(format!("trailing token '{extra}' on point line")));
+    }
+    Ok(point)
+}
+
+fn parse_fault(line: &str) -> Result<FaultState, CheckpointError> {
+    let mut t = line.split(' ');
+    let mut next = |key: &str| -> Result<&str, CheckpointError> {
+        parse_kv(
+            t.next().ok_or(CheckpointError::Corrupt {
+                reason: format!("fault line missing '{key}'"),
+            })?,
+            key,
+        )
+    };
+    let frng = parse_hex4(next("rng")?, ':')?;
+    // Struct-literal fields evaluate in source order, matching the line.
+    let counters = histo_faults::FaultCounters {
+        contaminated: parse_num(next("contaminated")?, "contaminated")?,
+        duplicated: parse_num(next("duplicated")?, "duplicated")?,
+        dropped: parse_num(next("dropped")?, "dropped")?,
+        stalled: parse_num(next("stalled")?, "stalled")?,
+        budget_hits: parse_num(next("budget_hits")?, "budget_hits")?,
+    };
+    let returned = parse_num(next("returned")?, "returned")?;
+    let consumed = parse_num(next("consumed")?, "consumed")?;
+    let last = match next("last")? {
+        "none" => None,
+        v => Some(parse_num(v, "last index")?),
+    };
+    Ok(FaultState {
+        frng,
+        counters,
+        returned,
+        consumed,
+        last,
+    })
+}
+
+fn parse_ledger(line: &str) -> Result<SampleLedger, CheckpointError> {
+    let mut entries = Vec::new();
+    let mut unattributed = None;
+    for token in line.split(' ').filter(|t| !t.is_empty()) {
+        let (key, value) = token.split_once('=').ok_or(CheckpointError::Corrupt {
+            reason: format!("bad ledger token '{token}'"),
+        })?;
+        let value: u64 = parse_num(value, "ledger count")?;
+        if key == "unattributed" {
+            unattributed = Some(value);
+        } else {
+            entries.push((parse_stage(key)?, value));
+        }
+    }
+    let unattributed = unattributed.ok_or(CheckpointError::Corrupt {
+        reason: "ledger line missing 'unattributed'".to_string(),
+    })?;
+    Ok(SampleLedger::from_parts(entries, unattributed))
+}
+
+fn parse_timings(line: &str) -> Result<StageTimings, CheckpointError> {
+    let mut entries = Vec::new();
+    let mut root = None;
+    for token in line.split(' ').filter(|t| !t.is_empty()) {
+        let (key, value) = token.split_once('=').ok_or(CheckpointError::Corrupt {
+            reason: format!("bad timings token '{token}'"),
+        })?;
+        if key == "root" {
+            root = Some(parse_num(value, "root_us")?);
+            continue;
+        }
+        let parts: Vec<&str> = value.split(':').collect();
+        if parts.len() != 5 {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("bad timings token '{token}' (want 5 fields)"),
+            });
+        }
+        entries.push((
+            parse_stage(key)?,
+            StageWall {
+                spans: parse_num(parts[0], "spans")?,
+                inclusive_us: parse_num(parts[1], "inclusive_us")?,
+                exclusive_us: parse_num(parts[2], "exclusive_us")?,
+                alloc_count: parse_num(parts[3], "alloc_count")?,
+                alloc_bytes: parse_num(parts[4], "alloc_bytes")?,
+            },
+        ));
+    }
+    let root_us = root.ok_or(CheckpointError::Corrupt {
+        reason: "timings line missing 'root'".to_string(),
+    })?;
+    Ok(StageTimings::from_parts(entries, root_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_sampling::PortableRng;
+    use rand::Rng;
+
+    fn sample_checkpoint() -> Checkpoint {
+        // Interval lengths 25, 35, 140, 100: these levels sum to mass 1.
+        let partition = Partition::from_starts(300, &[0, 25, 60, 200]).unwrap();
+        let d_hat =
+            KHistogram::new(partition.clone(), vec![0.01, 0.005, 0.0025, 0.00225]).unwrap();
+        Checkpoint {
+            id: 3,
+            fingerprint: "n=300|k=2|eps=0.4|seed=7|faults=eta=0.1,seed=7".to_string(),
+            rng: [1, u64::MAX, 0xDEAD_BEEF, 42],
+            replay_drawn: 1234,
+            resume_seq: 57,
+            progress: RunProgress {
+                next_round: 1,
+                accepts: 0,
+                rejects: 0,
+                failed: 1,
+                run_start_drawn: 0,
+                round_start_drawn: 620,
+                last_failure: Some((
+                    InconclusiveReason::StagePanicked {
+                        message: "flake\nwith \\ newline".to_string(),
+                    },
+                    Some("approx_part"),
+                )),
+            },
+            point: PipelinePoint::SieveDone {
+                partition_size: 4,
+                d_hat,
+                sieve: SieveOutcome {
+                    rejected: false,
+                    discarded: vec![2, 0],
+                    rounds_used: 3,
+                    early_accept: true,
+                },
+            },
+            fault: FaultState {
+                frng: [9, 8, 7, 6],
+                counters: histo_faults::FaultCounters {
+                    contaminated: 3,
+                    duplicated: 1,
+                    dropped: 2,
+                    stalled: 0,
+                    budget_hits: 0,
+                },
+                returned: 620,
+                consumed: 623,
+                last: Some(17),
+            },
+            ledger: SampleLedger::from_parts(
+                vec![(Stage::ApproxPart, 600), (Stage::Learner, 20)],
+                3,
+            ),
+            timings: StageTimings::from_parts(
+                vec![(
+                    Stage::ApproxPart,
+                    StageWall {
+                        spans: 3,
+                        inclusive_us: 120,
+                        exclusive_us: 100,
+                        alloc_count: 5,
+                        alloc_bytes: 4096,
+                    },
+                )],
+                120,
+            ),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn render_parse_round_trips_bitwise() {
+        let cp = sample_checkpoint();
+        let text = cp.render();
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+        // Spot-check semantic fields survived, not just bytes.
+        assert_eq!(back.id, 3);
+        assert_eq!(back.rng, cp.rng);
+        assert_eq!(back.progress, cp.progress);
+        assert_eq!(back.ledger.total(), cp.ledger.total());
+        assert_eq!(back.timings.root_us(), 120);
+        match back.point {
+            PipelinePoint::SieveDone { ref sieve, .. } => {
+                assert_eq!(sieve.discarded, vec![2, 0]);
+                assert!(sieve.early_accept);
+            }
+            ref other => panic!("wrong point: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_point_kind_round_trips() {
+        let partition = Partition::from_starts(50, &[0, 10]).unwrap();
+        let d_hat = KHistogram::new(partition.clone(), vec![0.05, 0.0125]).unwrap();
+        let points = vec![
+            PipelinePoint::Start,
+            PipelinePoint::PartitionDone {
+                partition: partition.clone(),
+            },
+            PipelinePoint::HypothesisDone {
+                partition_size: 2,
+                d_hat: d_hat.clone(),
+            },
+            PipelinePoint::SieveDone {
+                partition_size: 2,
+                d_hat,
+                sieve: SieveOutcome {
+                    rejected: true,
+                    discarded: vec![],
+                    rounds_used: 0,
+                    early_accept: false,
+                },
+            },
+        ];
+        for point in points {
+            let mut cp = sample_checkpoint();
+            cp.point = point;
+            let text = cp.render();
+            assert_eq!(Checkpoint::parse(&text).unwrap().render(), text);
+        }
+    }
+
+    #[test]
+    fn randomized_round_trips_hold() {
+        // Hand-rolled fuzz (the offline harness has no proptest): drive
+        // every numeric field from a portable RNG and require bitwise
+        // render/parse/render stability each time.
+        let mut rng = PortableRng::seed_from(0x5EED);
+        for _ in 0..200 {
+            let n = 2 + (rng.gen::<u64>() % 500) as usize;
+            let mut starts = vec![0usize];
+            let mut at = 0usize;
+            while at + 1 < n && rng.gen::<u64>() % 3 != 0 {
+                at += 1 + (rng.gen::<u64>() as usize % (n - at - 1).max(1));
+                if at < n {
+                    starts.push(at);
+                }
+            }
+            let partition = Partition::from_starts(n, &starts).unwrap();
+            // Random interval masses, normalized so the histogram is valid.
+            let weights: Vec<f64> = (0..partition.len())
+                .map(|_| (rng.gen::<u64>() % 1000 + 1) as f64)
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let levels: Vec<f64> = weights
+                .iter()
+                .zip(partition.intervals())
+                .map(|(w, iv)| w / total / iv.len() as f64)
+                .collect();
+            let d_hat = KHistogram::new(partition.clone(), levels).unwrap();
+            let mut cp = sample_checkpoint();
+            cp.id = rng.gen();
+            cp.rng = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            cp.replay_drawn = rng.gen();
+            cp.resume_seq = rng.gen();
+            cp.progress.next_round = rng.gen::<u64>() as usize % 100;
+            cp.progress.round_start_drawn = rng.gen();
+            cp.progress.last_failure = match rng.gen::<u64>() % 3 {
+                0 => None,
+                1 => Some((
+                    InconclusiveReason::BudgetExhausted {
+                        budget: rng.gen(),
+                        drawn: rng.gen(),
+                    },
+                    None,
+                )),
+                _ => Some((
+                    InconclusiveReason::DeadlineExceeded {
+                        deadline_us: rng.gen(),
+                        elapsed_us: rng.gen(),
+                    },
+                    Some("learner"),
+                )),
+            };
+            cp.point = if rng.gen::<u64>() % 2 == 0 {
+                PipelinePoint::PartitionDone { partition }
+            } else {
+                PipelinePoint::HypothesisDone {
+                    partition_size: partition.len(),
+                    d_hat,
+                }
+            };
+            cp.fault.frng = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            cp.fault.consumed = rng.gen();
+            let text = cp.render();
+            assert_eq!(Checkpoint::parse(&text).unwrap().render(), text);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let text = sample_checkpoint().render();
+        let bad = text.replace("fewbins-checkpoint v1", "fewbins-checkpoint v9");
+        match Checkpoint::parse(&bad) {
+            Err(CheckpointError::VersionMismatch { found }) => {
+                assert_eq!(found, "fewbins-checkpoint v9");
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            Checkpoint::parse("not a checkpoint\n"),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected_by_the_checksum() {
+        let text = sample_checkpoint().render();
+        // Flip one digit inside the payload (the checkpoint id).
+        let bad = text.replace("id 3", "id 4");
+        match Checkpoint::parse(&bad) {
+            Err(CheckpointError::Corrupt { reason }) => {
+                assert!(reason.contains("crc mismatch"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_before_the_checksum() {
+        let text = sample_checkpoint().render();
+        // Cut mid-file: no 'end' terminator survives.
+        let cut = &text[..text.len() / 2];
+        for case in [cut, "", "fewbins-checkpoint v1\n"] {
+            assert!(
+                matches!(Checkpoint::parse(case), Err(CheckpointError::Truncated)),
+                "case {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_resume() {
+        let cp = sample_checkpoint();
+        assert!(cp.verify_fingerprint(&cp.fingerprint.clone()).is_ok());
+        match cp.verify_fingerprint("n=300|k=3|eps=0.4") {
+            Err(CheckpointError::ParamsMismatch { expected, found }) => {
+                assert_eq!(expected, "n=300|k=3|eps=0.4");
+                assert_eq!(found, cp.fingerprint);
+            }
+            other => panic!("expected ParamsMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_atomic_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "fewbins-ckpt-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let cp = sample_checkpoint();
+        cp.save_atomic(&path).unwrap();
+        // The tmp sibling must not linger after a successful save.
+        assert!(!path.with_extension("tmp").exists());
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.render(), cp.render());
+        // Overwrite with a newer checkpoint: same path, still atomic.
+        let mut cp2 = cp.clone();
+        cp2.id = 4;
+        cp2.save_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().id, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_io_error() {
+        match Checkpoint::load(Path::new("/nonexistent/dir/run.ckpt")) {
+            Err(CheckpointError::Io(msg)) => assert!(msg.contains("read"), "{msg}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_and_convert_for_the_cli() {
+        let e = CheckpointError::Truncated;
+        assert!(e.to_string().contains("truncated"));
+        let he: HistoError = CheckpointError::Corrupt {
+            reason: "crc mismatch".to_string(),
+        }
+        .into();
+        match he {
+            HistoError::InvalidParameter { name, reason } => {
+                assert_eq!(name, "checkpoint");
+                assert!(reason.contains("crc mismatch"));
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_escaping_round_trips() {
+        for msg in ["plain", "with\nnewline", "back\\slash", "\r\n mix \\n"] {
+            assert_eq!(unescape_message(&escape_message(msg)), msg);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # histo-recovery
+//!
+//! Crash recovery and deadline supervision for long tester jobs — the
+//! third leg of the robustness story (`docs/ROBUSTNESS.md`), with zero
+//! third-party dependencies:
+//!
+//! - [`Checkpoint`]: a versioned, CRC-32-checksummed, text-serialized
+//!   snapshot of a running `fewbins` job — portable RNG state,
+//!   [`RobustRunner`](histo_testers::robust::RobustRunner) round
+//!   progress, the in-flight round's pipeline boundary, fault-injection
+//!   state, the partial sample ledger, and accumulated stage timings.
+//!   Saved atomically (tmp + fsync + rename) at stage and trial
+//!   boundaries; loading failures are typed ([`CheckpointError`]) and
+//!   map to CLI exit code 3 — never a panic, never a silent restart.
+//! - [`DeadlineOracle`]: a [`SampleOracle`](histo_sampling::SampleOracle)
+//!   adapter that reads a [`Clock`](histo_trace::Clock) before each
+//!   fallible draw and refuses with a typed `DeadlineExceeded` once a
+//!   whole-run or per-stage wall-clock budget is spent.
+//! - [`SupervisedRunner`]: a
+//!   [`RobustRunner`](histo_testers::robust::RobustRunner) front end
+//!   combining both — checkpoint hooks at every pipeline boundary,
+//!   mid-round resume, and deadline-bounded execution that degrades to
+//!   a structured `Inconclusive` outcome instead of hanging.
+//!
+//! The hard guarantee, pinned by the `resume_determinism` suite: a run
+//! interrupted at ANY checkpoint boundary and resumed produces the same
+//! decision, the same ledger, and byte-identical (timing-free) trace
+//! output as the uninterrupted run, across thread counts.
+
+pub mod checkpoint;
+pub mod deadline;
+pub mod supervised;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use deadline::DeadlineOracle;
+pub use supervised::SupervisedRunner;

@@ -1,0 +1,210 @@
+//! [`SupervisedRunner`]: the deadline-supervised front end of the
+//! recovery layer.
+//!
+//! Wraps a [`RobustRunner`] so that long jobs run under wall-clock
+//! budgets: the oracle is guarded by a [`DeadlineOracle`], and an
+//! overrun surfaces as
+//! [`Outcome::Inconclusive`] with
+//! [`InconclusiveReason::DeadlineExceeded`](histo_testers::robust::InconclusiveReason::DeadlineExceeded)
+//! — the stage that overran, plus the partial sample ledger — instead
+//! of a hung process. Checkpoint hooks pass straight through, so the
+//! `fewbins` CLI stacks deadlines and crash recovery on one runner.
+
+use histo_core::HistoError;
+use histo_sampling::SampleOracle;
+use histo_testers::histogram_tester::PipelinePoint;
+use histo_testers::robust::{Outcome, ResumeState, RobustRunner, RunProgress};
+use histo_trace::Clock;
+use rand::RngCore;
+
+use crate::deadline::DeadlineOracle;
+
+/// A [`RobustRunner`] under deadline supervision. Construct with
+/// [`SupervisedRunner::new`], arm deadlines with the builders, then call
+/// [`SupervisedRunner::run`] or [`SupervisedRunner::run_with_hooks`]
+/// (each consumes the runner: the clock moves into the guard oracle).
+pub struct SupervisedRunner {
+    runner: RobustRunner,
+    run_deadline_us: Option<u64>,
+    stage_deadline_us: Option<u64>,
+    clock: Option<Box<dyn Clock>>,
+}
+
+impl SupervisedRunner {
+    /// Supervises `runner` with no deadlines armed (pass-through until a
+    /// builder arms one).
+    pub fn new(runner: RobustRunner) -> Self {
+        Self {
+            runner,
+            run_deadline_us: None,
+            stage_deadline_us: None,
+            clock: None,
+        }
+    }
+
+    /// Arms the whole-run deadline (µs from the first guarded draw).
+    pub fn with_run_deadline_us(mut self, us: u64) -> Self {
+        self.run_deadline_us = Some(us);
+        self
+    }
+
+    /// Arms the per-stage deadline (µs since the stage last changed).
+    pub fn with_stage_deadline_us(mut self, us: u64) -> Self {
+        self.stage_deadline_us = Some(us);
+        self
+    }
+
+    /// Replaces the clock. Defaults to the production monotonic clock; a
+    /// [`ManualClock`](histo_trace::ManualClock) makes deadline outcomes
+    /// deterministic in tests.
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    fn guard<O: SampleOracle>(&mut self, oracle: O) -> DeadlineOracle<O> {
+        let mut guarded = DeadlineOracle::new(oracle);
+        if let Some(us) = self.run_deadline_us {
+            guarded = guarded.with_run_deadline_us(us);
+        }
+        if let Some(us) = self.stage_deadline_us {
+            guarded = guarded.with_stage_deadline_us(us);
+        }
+        if let Some(clock) = self.clock.take() {
+            guarded = guarded.with_clock(clock);
+        }
+        guarded
+    }
+
+    /// Runs the supervised job. Returns the outcome together with the
+    /// oracle (unwrapped from the deadline guard) so callers can finish
+    /// tracers and read final draw counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustRunner::run`] — deadline overruns are NOT errors; they
+    /// come back as `Ok(Outcome::Inconclusive { .. })`.
+    pub fn run<O: SampleOracle>(
+        mut self,
+        oracle: O,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<(Outcome, O), HistoError> {
+        let mut guarded = self.guard(oracle);
+        let outcome =
+            self.runner
+                .run_with_hooks(&mut guarded, k, epsilon, rng, None, &mut |_, _, _| Ok(()))?;
+        Ok((outcome, guarded.into_inner()))
+    }
+
+    /// [`SupervisedRunner::run`] with checkpoint hooks and resume — the
+    /// full recovery stack. The hook sees the guarded oracle; reach the
+    /// layers below through [`DeadlineOracle::inner_mut`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustRunner::run_with_hooks`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_with_hooks<O: SampleOracle>(
+        mut self,
+        oracle: O,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+        resume: Option<ResumeState>,
+        hook: &mut dyn FnMut(
+            &RunProgress,
+            &PipelinePoint,
+            &mut DeadlineOracle<O>,
+        ) -> Result<(), HistoError>,
+    ) -> Result<(Outcome, O), HistoError> {
+        let mut guarded = self.guard(oracle);
+        let outcome = self
+            .runner
+            .run_with_hooks(&mut guarded, k, epsilon, rng, resume, hook)?;
+        Ok((outcome, guarded.into_inner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histo_core::Distribution;
+    use histo_sampling::{DistOracle, SharedRng};
+    use histo_testers::histogram_tester::HistogramTester;
+    use histo_testers::robust::InconclusiveReason;
+    use histo_trace::ManualClock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn without_deadlines_matches_the_bare_runner_bitwise() {
+        let d = Distribution::uniform(300).unwrap();
+        let runner = || RobustRunner::new(HistogramTester::practical());
+
+        let mut o1 = DistOracle::new(d.clone()).with_fast_poissonization();
+        let rng1 = SharedRng::seed_from(31);
+        let bare = runner()
+            .run(&mut o1, 2, 0.4, &mut rng1.clone())
+            .unwrap();
+
+        let o2 = DistOracle::new(d).with_fast_poissonization();
+        let rng2 = SharedRng::seed_from(31);
+        let (supervised, o2) = SupervisedRunner::new(runner())
+            .run(o2, 2, 0.4, &mut rng2.clone())
+            .unwrap();
+
+        assert_eq!(supervised, bare);
+        assert_eq!(o1.samples_drawn(), o2.samples_drawn());
+        assert_eq!(rng1.state(), rng2.state());
+    }
+
+    #[test]
+    fn deadline_overrun_is_a_structured_inconclusive() {
+        let d = Distribution::uniform(300).unwrap();
+        // Draws are batched, so the pipeline makes few fallible calls;
+        // a 50 µs step against a 25 µs budget trips on the second one.
+        let run = || {
+            let o = DistOracle::new(d.clone());
+            let mut rng = StdRng::seed_from_u64(32);
+            SupervisedRunner::new(RobustRunner::new(HistogramTester::practical()))
+                .with_run_deadline_us(25)
+                .with_clock(Box::new(ManualClock::with_step(50)))
+                .run(o, 2, 0.4, &mut rng)
+                .unwrap()
+        };
+        let (outcome, oracle) = run();
+        match &outcome {
+            Outcome::Inconclusive {
+                reason: InconclusiveReason::DeadlineExceeded { deadline_us, .. },
+                stage,
+                ..
+            } => {
+                assert_eq!(*deadline_us, 25);
+                assert!(stage.is_some(), "overrun must name its stage");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(oracle.samples_drawn() > 0, "some work happened first");
+        // Deterministic under the manual clock: same outcome, same draws.
+        let (again, oracle2) = run();
+        assert_eq!(again, outcome);
+        assert_eq!(oracle.samples_drawn(), oracle2.samples_drawn());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_verdict() {
+        let d = Distribution::uniform(300).unwrap();
+        let o = DistOracle::new(d.clone()).with_fast_poissonization();
+        let mut rng = StdRng::seed_from_u64(33);
+        let (outcome, _) =
+            SupervisedRunner::new(RobustRunner::new(HistogramTester::practical()))
+                .with_run_deadline_us(u64::MAX)
+                .with_stage_deadline_us(u64::MAX)
+                .with_clock(Box::new(ManualClock::with_step(1)))
+                .run(o, 2, 0.4, &mut rng)
+                .unwrap();
+        assert!(outcome.is_conclusive());
+    }
+}

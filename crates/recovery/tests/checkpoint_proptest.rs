@@ -1,0 +1,357 @@
+//! Property tests pinning `Checkpoint` serialization, mirroring the
+//! `dp_equivalence.rs` discipline: arbitrary progress states must
+//! render/parse/render bitwise-stably, and any damage to the rendered
+//! bytes — a flipped byte anywhere, a truncation at any offset — must
+//! surface as a typed [`CheckpointError`], never a panic and never a
+//! silently different checkpoint.
+//!
+//! This suite runs under cargo only (the offline harness carries no
+//! proptest stub and deliberately does not register it; the hand-rolled
+//! fuzz loop in `checkpoint.rs` covers the same ground there).
+
+use histo_core::{KHistogram, Partition};
+use histo_faults::{FaultCounters, FaultState};
+use histo_recovery::{Checkpoint, CheckpointError};
+use histo_testers::histogram_tester::PipelinePoint;
+use histo_testers::robust::{InconclusiveReason, RunProgress};
+use histo_testers::sieve::SieveOutcome;
+use histo_trace::{SampleLedger, Stage, StageTimings, StageWall};
+use proptest::prelude::*;
+
+/// Every stage name a checkpoint can legally mention: the fixed
+/// [`Stage::from_name`] set plus the two synthetic attribution stages
+/// the loader interns.
+fn all_stages() -> Vec<Stage> {
+    vec![
+        Stage::ApproxPart,
+        Stage::Learner,
+        Stage::Sieve,
+        Stage::Check,
+        Stage::AdkTest,
+        Stage::Uniformity,
+        Stage::ModelSelection,
+        Stage::Other("params"),
+        Stage::Other("checkpoint"),
+    ]
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop::sample::select(all_stages())
+}
+
+/// Partitions of a small domain with random interior cut points.
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    (2usize..200).prop_flat_map(|n| {
+        prop::collection::vec(1usize..n, 0..6).prop_map(move |mut cuts| {
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut starts = vec![0usize];
+            starts.extend(cuts);
+            Partition::from_starts(n, &starts).expect("strictly increasing starts")
+        })
+    })
+}
+
+/// Valid (mass-1) histograms over an arbitrary partition, with levels
+/// whose bit patterns exercise the `f64::to_bits` hex round trip.
+fn arb_histogram() -> impl Strategy<Value = KHistogram> {
+    arb_partition().prop_flat_map(|p| {
+        let len = p.len();
+        prop::collection::vec(1u32..1000, len).prop_map(move |ws| {
+            let total: f64 = ws.iter().map(|w| f64::from(*w)).sum();
+            let levels: Vec<f64> = ws
+                .iter()
+                .zip(p.intervals())
+                .map(|(w, iv)| f64::from(*w) / total / iv.len() as f64)
+                .collect();
+            KHistogram::new(p.clone(), levels).expect("normalized levels")
+        })
+    })
+}
+
+fn arb_failure() -> impl Strategy<Value = Option<(InconclusiveReason, Option<&'static str>)>> {
+    let reason = prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(budget, drawn)| {
+            InconclusiveReason::BudgetExhausted { budget, drawn }
+        }),
+        // Panic payloads are arbitrary text, including the newline and
+        // backslash bytes the escaper must frame.
+        ".*".prop_map(|message| InconclusiveReason::StagePanicked { message }),
+        (any::<u64>(), any::<u64>()).prop_map(|(deadline_us, elapsed_us)| {
+            InconclusiveReason::DeadlineExceeded {
+                deadline_us,
+                elapsed_us,
+            }
+        }),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
+            |(accepts, rejects, failed_rounds)| InconclusiveReason::NoQuorum {
+                accepts,
+                rejects,
+                failed_rounds,
+            }
+        ),
+    ];
+    let stage = prop_oneof![Just(None), arb_stage().prop_map(|s| Some(s.name()))];
+    prop_oneof![Just(None), (reason, stage).prop_map(Some)]
+}
+
+fn arb_progress() -> impl Strategy<Value = RunProgress> {
+    (
+        0usize..1000,
+        0usize..1000,
+        0usize..1000,
+        0usize..1000,
+        any::<u64>(),
+        any::<u64>(),
+        arb_failure(),
+    )
+        .prop_map(
+            |(next_round, accepts, rejects, failed, run_start_drawn, round_start_drawn, last_failure)| {
+                RunProgress {
+                    next_round,
+                    accepts,
+                    rejects,
+                    failed,
+                    run_start_drawn,
+                    round_start_drawn,
+                    last_failure,
+                }
+            },
+        )
+}
+
+fn arb_point() -> impl Strategy<Value = PipelinePoint> {
+    prop_oneof![
+        Just(PipelinePoint::Start),
+        arb_partition().prop_map(|partition| PipelinePoint::PartitionDone { partition }),
+        arb_histogram().prop_map(|d_hat| PipelinePoint::HypothesisDone {
+            partition_size: d_hat.partition().len(),
+            d_hat,
+        }),
+        (
+            arb_histogram(),
+            any::<bool>(),
+            0usize..50,
+            any::<bool>(),
+            prop::collection::vec(0usize..100, 0..5),
+        )
+            .prop_map(|(d_hat, rejected, rounds_used, early_accept, discarded)| {
+                PipelinePoint::SieveDone {
+                    partition_size: d_hat.partition().len(),
+                    d_hat,
+                    sieve: SieveOutcome {
+                        rejected,
+                        rounds_used,
+                        early_accept,
+                        discarded,
+                    },
+                }
+            }),
+    ]
+}
+
+fn arb_fault() -> impl Strategy<Value = FaultState> {
+    (
+        any::<[u64; 4]>(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        any::<u64>(),
+        any::<u64>(),
+        prop::option::of(any::<usize>()),
+    )
+        .prop_map(|(frng, (contaminated, duplicated, dropped, stalled, budget_hits), returned, consumed, last)| {
+            FaultState {
+                frng,
+                counters: FaultCounters {
+                    contaminated,
+                    duplicated,
+                    dropped,
+                    stalled,
+                    budget_hits,
+                },
+                returned,
+                consumed,
+                last,
+            }
+        })
+}
+
+/// Stage-attributed ledgers with distinct stages in arbitrary first-seen
+/// order. Counts are bounded so `SampleLedger::from_parts` can total them
+/// without overflow.
+fn arb_ledger() -> impl Strategy<Value = SampleLedger> {
+    prop::sample::subsequence(all_stages(), 0..=9)
+        .prop_flat_map(|stages| {
+            let len = stages.len();
+            (
+                Just(stages),
+                prop::collection::vec(0u64..1_000_000_000, len),
+                0u64..1_000_000_000,
+            )
+        })
+        .prop_map(|(stages, counts, unattributed)| {
+            SampleLedger::from_parts(stages.into_iter().zip(counts).collect(), unattributed)
+        })
+}
+
+fn arb_timings() -> impl Strategy<Value = StageTimings> {
+    let wall = (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(spans, inclusive_us, exclusive_us, alloc_count, alloc_bytes)| StageWall {
+            spans,
+            inclusive_us,
+            exclusive_us,
+            alloc_count,
+            alloc_bytes,
+        });
+    prop::sample::subsequence(all_stages(), 0..=9)
+        .prop_flat_map(move |stages| {
+            let len = stages.len();
+            (Just(stages), prop::collection::vec(wall.clone(), len), any::<u64>())
+        })
+        .prop_map(|(stages, walls, root_us)| {
+            StageTimings::from_parts(stages.into_iter().zip(walls).collect(), root_us)
+        })
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        (any::<u64>(), "[ -~]{0,60}", any::<[u64; 4]>(), any::<u64>(), any::<u64>()),
+        arb_progress(),
+        arb_point(),
+        arb_fault(),
+        arb_ledger(),
+        arb_timings(),
+    )
+        .prop_map(
+            |((id, fingerprint, rng, replay_drawn, resume_seq), progress, point, fault, ledger, timings)| {
+                Checkpoint {
+                    id,
+                    fingerprint,
+                    rng,
+                    replay_drawn,
+                    resume_seq,
+                    progress,
+                    point,
+                    fault,
+                    ledger,
+                    timings,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core contract: render → parse → render is bitwise-stable for
+    /// every reachable progress state, and the parsed checkpoint drives
+    /// the identical resume (same runner progress, same pipeline
+    /// boundary, same RNG and replay position).
+    #[test]
+    fn render_parse_round_trips_bitwise(cp in arb_checkpoint()) {
+        let text = cp.render();
+        let back = Checkpoint::parse(&text).expect("well-formed checkpoint must parse");
+        prop_assert_eq!(back.render(), text.clone());
+        prop_assert_eq!(back.id, cp.id);
+        prop_assert_eq!(back.fingerprint.clone(), cp.fingerprint.clone());
+        prop_assert_eq!(back.rng, cp.rng);
+        prop_assert_eq!(back.replay_drawn, cp.replay_drawn);
+        prop_assert_eq!(back.resume_seq, cp.resume_seq);
+        prop_assert_eq!(back.progress.clone(), cp.progress.clone());
+        prop_assert_eq!(back.ledger.total(), cp.ledger.total());
+        prop_assert_eq!(back.ledger.unattributed(), cp.ledger.unattributed());
+        prop_assert_eq!(back.timings.root_us(), cp.timings.root_us());
+        // Resume behavior equality: the runner-facing state matches field
+        // for field (PipelinePoint carries no PartialEq; its Debug form
+        // includes every level bit via the histogram's f64 payloads).
+        let a = back.resume_state();
+        let b = cp.resume_state();
+        prop_assert_eq!(a.progress, b.progress);
+        prop_assert_eq!(format!("{:?}", a.point), format!("{:?}", b.point));
+        // A second generation parses to the same bytes again: stability,
+        // not just one-shot equality.
+        prop_assert_eq!(Checkpoint::parse(&back.render()).unwrap().render(), text);
+    }
+
+    /// Flipping any single byte of a rendered checkpoint is always
+    /// detected (CRC-32 catches all 8-bit bursts) and always surfaces as
+    /// a typed error, never a panic.
+    #[test]
+    fn any_single_byte_flip_is_a_typed_error(
+        cp in arb_checkpoint(),
+        at in any::<prop::sample::Index>(),
+        mask in 1u8..,
+    ) {
+        let text = cp.render();
+        let mut bytes = text.into_bytes();
+        let i = at.index(bytes.len());
+        bytes[i] ^= mask;
+        // Panic payloads can be non-ASCII, so a flip may break UTF-8 —
+        // the loader would fail in read_to_string before parse; only
+        // valid UTF-8 reaches Checkpoint::parse.
+        if let Ok(damaged) = String::from_utf8(bytes) {
+            let err = Checkpoint::parse(&damaged).expect_err("flip must not parse");
+            prop_assert!(
+                matches!(
+                    err,
+                    CheckpointError::VersionMismatch { .. }
+                        | CheckpointError::Corrupt { .. }
+                        | CheckpointError::Truncated
+                ),
+                "unexpected error class: {:?}", err
+            );
+        }
+    }
+
+    /// Truncating a rendered checkpoint at any offset — simulating a
+    /// torn copy outside the atomic rename path — is always a typed
+    /// error, never a panic and never a quietly shorter checkpoint.
+    #[test]
+    fn any_truncation_is_a_typed_error(
+        cp in arb_checkpoint(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let text = cp.render();
+        let mut i = cut.index(text.len()); // proper prefix: 0..len-1
+        while !text.is_char_boundary(i) {
+            i -= 1;
+        }
+        let err = Checkpoint::parse(&text[..i]).expect_err("prefix must not parse");
+        prop_assert!(
+            matches!(
+                err,
+                CheckpointError::VersionMismatch { .. }
+                    | CheckpointError::Corrupt { .. }
+                    | CheckpointError::Truncated
+            ),
+            "unexpected error class at cut {}: {:?}", i, err
+        );
+    }
+
+    /// Resume refusal is exact: only the byte-identical fingerprint is
+    /// accepted, anything else is a typed `ParamsMismatch`.
+    #[test]
+    fn fingerprint_verification_is_exact(
+        cp in arb_checkpoint(),
+        other in "[ -~]{0,60}",
+    ) {
+        prop_assert!(cp.verify_fingerprint(&cp.fingerprint).is_ok());
+        let r = cp.verify_fingerprint(&other);
+        if other == cp.fingerprint {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert!(matches!(r, Err(CheckpointError::ParamsMismatch { .. })));
+        }
+    }
+}

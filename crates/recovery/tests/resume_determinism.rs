@@ -1,0 +1,406 @@
+//! Full-stack crash/resume determinism suite — the recovery layer's hard
+//! guarantee, pinned at the library level with the exact oracle stack the
+//! `fewbins` CLI assembles (replayable source → ScopedOracle tracer →
+//! FaultyOracle → SupervisedRunner with checkpoint hooks):
+//!
+//! a run interrupted by an injected crash at ANY checkpoint boundary and
+//! resumed from the last saved checkpoint must produce the SAME decision,
+//! the SAME final sample ledger, and a stitched (timing-free) trace that
+//! is **byte-identical** to the uninterrupted run's — for several crash
+//! points and for every `FEWBINS_THREADS ∈ {1, 2, 4}`.
+//!
+//! Checkpoints round-trip through `render()`/`parse()` on every save, so
+//! the on-disk text format is exercised, not just the in-memory struct.
+//!
+//! Everything runs inside a single `#[test]` so the `FEWBINS_THREADS`
+//! mutations cannot race with other tests in this binary.
+
+use histo_core::{Distribution, HistoError};
+use histo_faults::{FaultPlan, FaultyOracle};
+use histo_recovery::{Checkpoint, SupervisedRunner};
+use histo_sampling::{DistOracle, SampleOracle, ScopedOracle, SharedRng};
+use histo_testers::histogram_tester::HistogramTester;
+use histo_testers::robust::{Outcome, RobustRunner};
+use histo_trace::{JsonlSink, SampleLedger, SharedBuffer, Tracer};
+use rand::RngCore;
+
+/// A distribution-backed oracle whose draw counter can be repositioned at
+/// a checkpointed absolute count — the library-level stand-in for the
+/// CLI's dataset `ReplayOracle`. The sample *stream* needs no replay:
+/// draws are a pure function of the shared sampling RNG, whose state the
+/// checkpoint restores.
+struct RestorableOracle {
+    inner: DistOracle,
+    offset: u64,
+}
+
+impl RestorableOracle {
+    fn new(d: Distribution) -> Self {
+        Self {
+            inner: DistOracle::new(d),
+            offset: 0,
+        }
+    }
+
+    fn restore(&mut self, drawn: u64) {
+        self.offset = drawn;
+    }
+}
+
+impl SampleOracle for RestorableOracle {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        self.inner.draw(rng)
+    }
+    fn samples_drawn(&self) -> u64 {
+        self.inner.samples_drawn() + self.offset
+    }
+}
+
+/// A restorable oracle that panics once, at an absolute draw count — the
+/// retryable round failure from the robust-runner suite, here placed
+/// under the full recovery stack. Resumes past the flake never re-fire
+/// it because the restored counter is absolute.
+struct FlakyOracle {
+    inner: RestorableOracle,
+    panic_at: u64,
+}
+
+impl SampleOracle for FlakyOracle {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+        if self.inner.samples_drawn() + 1 == self.panic_at {
+            // Still consume the draw so retries move past the fault.
+            self.inner.draw(rng);
+            panic!("injected flake at draw {}", self.panic_at);
+        }
+        self.inner.draw(rng)
+    }
+    fn samples_drawn(&self) -> u64 {
+        self.inner.samples_drawn()
+    }
+}
+
+const FINGERPRINT: &str = "resume-determinism|n=300|k=2|eps=0.4";
+
+/// What one (possibly crashed) run segment leaves behind.
+struct Segment {
+    /// `None` when the injected crash cut the run short.
+    outcome: Option<Outcome>,
+    /// Absolute draws at the end of the segment.
+    drawn: u64,
+    /// Final ledger (successful segments only).
+    ledger: Option<SampleLedger>,
+    /// The timing-free trace bytes this segment emitted.
+    trace: Vec<u8>,
+    /// Rendered checkpoint files, in save order (the last one is what a
+    /// resume loads, like the single overwritten `--checkpoint` file).
+    saved: Vec<String>,
+}
+
+/// One run segment through the CLI's exact stack. `crash_after` injects a
+/// `crash=` fault; `resume_from` is a rendered checkpoint file from the
+/// crashed predecessor segment.
+fn run_segment<F>(
+    make_oracle: F,
+    seed: u64,
+    retries: usize,
+    crash_after: Option<u64>,
+    resume_from: Option<&str>,
+) -> Segment
+where
+    F: FnOnce() -> Box<dyn SampleOracle>,
+{
+    let loaded = resume_from.map(|text| {
+        let cp = Checkpoint::parse(text).expect("saved checkpoints must parse back");
+        cp.verify_fingerprint(FINGERPRINT)
+            .expect("fingerprint must match");
+        cp
+    });
+    // The resumed segment must not re-fire the crash trigger (the CLI
+    // strips it via FaultPlan::without_crash); everything else continues
+    // from the restored fault state.
+    let plan = match (crash_after, &loaded) {
+        (Some(at), None) => FaultPlan::none().with_crash(at),
+        _ => FaultPlan::none(),
+    };
+
+    let mut oracle = make_oracle();
+    let rng = match &loaded {
+        Some(cp) => SharedRng::from_state(cp.rng),
+        None => SharedRng::seed_from(seed),
+    };
+    let buf = SharedBuffer::new();
+    let tracer = match &loaded {
+        Some(cp) => Tracer::resume(
+            Box::new(JsonlSink::new(buf.clone())),
+            cp.resume_seq,
+            cp.ledger.clone(),
+            cp.timings.clone(),
+        ),
+        None => Tracer::new(Box::new(JsonlSink::new(buf.clone()))),
+    }
+    .without_timing();
+    let scoped = ScopedOracle::with_tracer(&mut *oracle, tracer);
+    let mut faulty = FaultyOracle::new(scoped, plan);
+    if let Some(cp) = &loaded {
+        faulty.restore_recovery_state(cp.fault.clone());
+        // Reuses the sequence slot of the matching checkpoint_save, so
+        // stitched traces renumber seamlessly.
+        faulty.trace_counter("checkpoint_load", cp.id.into());
+    }
+
+    let runner = RobustRunner::new(HistogramTester::practical()).with_retries(retries);
+    let supervised = SupervisedRunner::new(runner);
+    let mut next_id = loaded.as_ref().map_or(0, |cp| cp.id + 1);
+    let resume_state = loaded.as_ref().map(|cp| cp.resume_state());
+    let rng_probe = rng.clone();
+    let mut run_rng = rng.clone();
+    let mut saved: Vec<String> = Vec::new();
+    let result = supervised.run_with_hooks(
+        faulty,
+        2,
+        0.4,
+        &mut run_rng,
+        resume_state,
+        &mut |progress, point, o| {
+            // Snapshot BEFORE the save counter: the stored resume_seq is
+            // the slot the counter is about to consume, which
+            // checkpoint_load reuses on resume.
+            let fault = o.inner_mut().recovery_state();
+            let replay_drawn = o.inner_mut().inner().samples_drawn();
+            let (resume_seq, ledger, timings) = {
+                let t = o.tracer().expect("the stack always attaches a tracer");
+                (t.seq(), t.ledger().clone(), t.timings().clone())
+            };
+            let cp = Checkpoint {
+                id: next_id,
+                fingerprint: FINGERPRINT.to_string(),
+                rng: rng_probe.state(),
+                replay_drawn,
+                resume_seq,
+                progress: progress.clone(),
+                point: point.clone(),
+                fault,
+                ledger,
+                timings,
+            };
+            o.trace_counter("checkpoint_save", next_id.into());
+            saved.push(cp.render());
+            next_id += 1;
+            Ok(())
+        },
+    );
+    match result {
+        Ok((outcome, mut faulty)) => {
+            faulty.emit_counters();
+            let (ledger, _timings) = faulty.into_inner().finish_with_timings();
+            Segment {
+                outcome: Some(outcome),
+                drawn: oracle.samples_drawn(),
+                ledger: Some(ledger),
+                trace: buf.contents(),
+                saved,
+            }
+        }
+        // The crashed stack was consumed by the run; dropping it flushed
+        // the trace segment (whole lines, no footer) — exactly the CLI's
+        // abort path.
+        Err(HistoError::InjectedCrash { .. }) => Segment {
+            outcome: None,
+            drawn: oracle.samples_drawn(),
+            ledger: None,
+            trace: buf.contents(),
+            saved,
+        },
+        Err(e) => panic!("unexpected run error: {e}"),
+    }
+}
+
+/// Splices a crashed segment and its resumed continuation at the
+/// checkpoint seam (the mirror of `fewbins report --stitch`): cut the
+/// crashed segment just after the `checkpoint_save` whose id the resumed
+/// segment's leading `checkpoint_load` names — the load line reuses the
+/// save's seq slot, so swapping the counter name reconstructs the seam
+/// line exactly — then append the rest of the resumed segment.
+fn stitch(crashed: &[u8], resumed: &[u8]) -> Vec<u8> {
+    let s1 = std::str::from_utf8(crashed).expect("traces are UTF-8");
+    let s2 = std::str::from_utf8(resumed).expect("traces are UTF-8");
+    let mut head: Vec<&str> = s1.lines().collect();
+    let mut tail = s2.lines();
+    let load = tail.next().expect("resumed segment is non-empty");
+    assert!(
+        load.contains("\"checkpoint_load\""),
+        "resumed segment must open with checkpoint_load, got: {load}"
+    );
+    let save = load.replace("checkpoint_load", "checkpoint_save");
+    let seam = head
+        .iter()
+        .rposition(|l| *l == save)
+        .expect("crashed segment contains the matching checkpoint_save");
+    head.truncate(seam + 1);
+    let mut out = String::new();
+    for line in head.into_iter().chain(tail) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// The absolute draw count a rendered checkpoint was taken at.
+fn drawn_at(rendered: &str) -> u64 {
+    Checkpoint::parse(rendered).expect("parses").replay_drawn
+}
+
+#[test]
+fn interrupted_runs_resume_bitwise_identically_across_thread_counts() {
+    let d = Distribution::uniform(300).unwrap();
+    let fresh = || -> Box<dyn SampleOracle> { Box::new(RestorableOracle::new(d.clone())) };
+    let restored = |drawn: u64| -> Box<dyn SampleOracle> {
+        let mut o = RestorableOracle::new(d.clone());
+        o.restore(drawn);
+        Box::new(o)
+    };
+
+    // (thread label, uninterrupted artifacts, per-crash-point stitched artifacts)
+    let mut per_thread = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FEWBINS_THREADS", threads);
+
+        let full = run_segment(fresh, 777, 1, None, None);
+        let outcome = full.outcome.clone().expect("uninterrupted run concludes");
+        assert!(outcome.is_conclusive(), "fixture must reach a decision");
+        assert!(
+            full.saved.len() >= 4,
+            "expected one boundary per pipeline stage, got {}",
+            full.saved.len()
+        );
+
+        // Three interruption windows, each with a checkpoint on "disk" to
+        // resume from. The crash pre-check fires at the first fallible
+        // call whose entry count reaches the threshold, so `+ 1` lands in
+        // the work after a boundary, while the exact count of the LAST
+        // boundary lands at the final stage's single call — after every
+        // checkpoint has been saved.
+        let crash_points: Vec<u64> = vec![
+            drawn_at(&full.saved[0]) + 1,
+            drawn_at(&full.saved[full.saved.len() / 2]) + 1,
+            drawn_at(&full.saved[full.saved.len() - 1]),
+        ];
+
+        let mut stitched_runs = Vec::new();
+        for &crash_at in &crash_points {
+            let crashed = run_segment(fresh, 777, 1, Some(crash_at), None);
+            assert!(
+                crashed.outcome.is_none(),
+                "crash={crash_at} must cut the run short"
+            );
+            assert!(
+                !crashed.saved.is_empty(),
+                "at least one checkpoint lands before crash={crash_at}"
+            );
+            // The crash fires at the first fallible call after the
+            // threshold is crossed, which may be one or more pipeline
+            // boundaries (and saves) later — resume from the last save,
+            // like the single overwritten --checkpoint file.
+            let last = crashed.saved.last().unwrap().clone();
+
+            let resumed = run_segment(
+                || restored(drawn_at(&last)),
+                777,
+                1,
+                None,
+                Some(&last),
+            );
+
+            // The hard guarantee: identical decision, ledger, and draws...
+            assert_eq!(resumed.outcome.as_ref(), Some(&outcome));
+            assert_eq!(resumed.ledger, full.ledger);
+            assert_eq!(resumed.drawn, full.drawn);
+            // ...and identical stitched trace bytes.
+            let spliced = stitch(&crashed.trace, &resumed.trace);
+            assert_eq!(
+                spliced, full.trace,
+                "stitched trace diverged (crash={crash_at}, threads={threads})"
+            );
+            // Checkpoint ids continue across the seam, so the resumed
+            // segment's saves are byte-for-byte the uninterrupted run's.
+            let seam = crashed.saved.len();
+            assert_eq!(
+                resumed.saved,
+                &full.saved[seam..],
+                "post-resume checkpoints diverged (crash={crash_at})"
+            );
+            stitched_runs.push(spliced);
+        }
+        per_thread.push((threads, full, stitched_runs));
+    }
+    std::env::remove_var("FEWBINS_THREADS");
+
+    // The whole recovery story is thread-count-invariant: same decision,
+    // same checkpoint files, same trace bytes at every FEWBINS_THREADS.
+    let (_, base_full, base_stitched) = &per_thread[0];
+    for (threads, full, stitched) in &per_thread[1..] {
+        assert_eq!(
+            full.trace, base_full.trace,
+            "uninterrupted trace diverged at FEWBINS_THREADS={threads}"
+        );
+        assert_eq!(full.outcome, base_full.outcome);
+        assert_eq!(full.saved, base_full.saved);
+        assert_eq!(
+            stitched, base_stitched,
+            "stitched traces diverged at FEWBINS_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
+fn resume_reenters_the_same_retry_round_under_the_full_stack() {
+    // Round 0 dies at draw 10 (a retryable stage panic); the runner moves
+    // on to clean retry rounds. Crash the run mid-retry and resume: the
+    // checkpoint carries round 0's failure, so the resume re-enters the
+    // SAME retry round — no round is re-run or double counted.
+    let d = Distribution::uniform(300).unwrap();
+    let flaky = || -> Box<dyn SampleOracle> {
+        Box::new(FlakyOracle {
+            inner: RestorableOracle::new(d.clone()),
+            panic_at: 10,
+        })
+    };
+    let flaky_restored = |drawn: u64| -> Box<dyn SampleOracle> {
+        let mut inner = RestorableOracle::new(d.clone());
+        inner.restore(drawn);
+        Box::new(FlakyOracle {
+            inner,
+            panic_at: 10,
+        })
+    };
+
+    let full = run_segment(flaky, 778, 3, None, None);
+    let outcome = full.outcome.clone().expect("retries recover the run");
+    assert!(outcome.is_conclusive());
+
+    // Crash in the retry work, well past the flake.
+    let mid = &full.saved[full.saved.len() / 2];
+    let crash_at = drawn_at(mid) + 1;
+    assert!(crash_at > 10, "crash point must land in the retry rounds");
+
+    let crashed = run_segment(flaky, 778, 3, Some(crash_at), None);
+    assert!(crashed.outcome.is_none());
+    let last = crashed.saved.last().unwrap().clone();
+    let restored_progress = Checkpoint::parse(&last).unwrap().progress;
+    assert_eq!(
+        restored_progress.failed, 1,
+        "the checkpoint must carry round 0's failure"
+    );
+
+    let resumed = run_segment(|| flaky_restored(drawn_at(&last)), 778, 3, None, Some(&last));
+    assert_eq!(resumed.outcome.as_ref(), Some(&outcome));
+    assert_eq!(resumed.ledger, full.ledger);
+    assert_eq!(resumed.drawn, full.drawn);
+    assert_eq!(stitch(&crashed.trace, &resumed.trace), full.trace);
+}

@@ -25,6 +25,10 @@
 //! - [`continuous`]: the paper's Section 2 extension to continuous domains
 //!   by gridding — continuous sources, the binning oracle adapter, and
 //!   exact gridded pmfs for ground truth.
+//! - [`rng`]: [`rng::PortableRng`], a state-exportable xoshiro256**
+//!   generator (and the [`rng::SharedRng`] handle) powering checkpoint /
+//!   resume in `histo-recovery` — `StdRng` hides its state, so resumable
+//!   runs draw from a generator whose full state round-trips.
 
 pub mod alias;
 pub mod continuous;
@@ -32,6 +36,8 @@ pub mod generators;
 pub mod mock;
 pub mod oracle;
 pub mod permutation;
+pub mod rng;
 
 pub use alias::AliasSampler;
 pub use oracle::{BudgetedOracle, DistOracle, SampleOracle, ScopedOracle};
+pub use rng::{PortableRng, SharedRng};

@@ -311,22 +311,45 @@ impl SampleOracle for ScopedOracle<'_> {
 ///   only after drawing, so the check is pre + post: refused up front once
 ///   the cap is reached, and a batch that overshoots the cap is withheld
 ///   (its draws stay counted, but no data past the cap is released).
-pub struct BudgetedOracle<'a> {
-    inner: &'a mut dyn SampleOracle,
+///
+/// Generic over the wrapped oracle type (defaulting to `dyn SampleOracle`
+/// for existing call sites) so callers that need typed access to the inner
+/// oracle — the checkpoint hooks of the recovery runtime — can get it back
+/// through [`BudgetedOracle::inner_mut`].
+pub struct BudgetedOracle<'a, O: SampleOracle + ?Sized = dyn SampleOracle> {
+    inner: &'a mut O,
     budget: u64,
     start: u64,
 }
 
-impl<'a> BudgetedOracle<'a> {
+impl<'a, O: SampleOracle + ?Sized> BudgetedOracle<'a, O> {
     /// Caps `inner` at `budget` further draws (counted from its current
     /// [`SampleOracle::samples_drawn`]).
-    pub fn new(inner: &'a mut dyn SampleOracle, budget: u64) -> Self {
+    pub fn new(inner: &'a mut O, budget: u64) -> Self {
         let start = inner.samples_drawn();
         Self {
             inner,
             budget,
             start,
         }
+    }
+
+    /// Rewinds the usage baseline to `start_drawn` (a past
+    /// [`SampleOracle::samples_drawn`] reading), so draws made since then
+    /// count against the budget. The recovery runtime uses this to re-enter
+    /// a half-finished round after a resume with refusal behavior — the
+    /// reported `budget`/`drawn` pair included — identical to the
+    /// uninterrupted run's.
+    pub fn rebased(mut self, start_drawn: u64) -> Self {
+        self.start = start_drawn;
+        self
+    }
+
+    /// Typed access to the wrapped oracle (the budget still applies to
+    /// draws made through `self`; draws made directly on the inner oracle
+    /// count against the budget on the next check).
+    pub fn inner_mut(&mut self) -> &mut O {
+        self.inner
     }
 
     /// Draws consumed through (or since) this wrapper so far.
@@ -347,7 +370,7 @@ impl<'a> BudgetedOracle<'a> {
     }
 }
 
-impl SampleOracle for BudgetedOracle<'_> {
+impl<O: SampleOracle + ?Sized> SampleOracle for BudgetedOracle<'_, O> {
     fn n(&self) -> usize {
         self.inner.n()
     }

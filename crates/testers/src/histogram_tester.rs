@@ -19,11 +19,59 @@ use crate::learner::learn;
 use crate::sieve::{sieve, SieveOutcome};
 use crate::{validate_params, Decision, Tester};
 use histo_core::dp::check_close_to_hk;
-use histo_core::{HistoError, KHistogram};
+use histo_core::{HistoError, KHistogram, Partition};
 use histo_sampling::oracle::SampleOracle;
 use histo_trace::{Stage, Value};
 use rand::RngCore;
 use std::fmt;
+
+/// A resumable position between pipeline stages of Algorithm 1.
+///
+/// Each variant carries exactly the state the *remaining* stages need, so
+/// a run checkpointed at a boundary and restarted from the corresponding
+/// variant replays the rest of the pipeline bit for bit (given the same
+/// oracle position and RNG state). `Start` re-runs everything; `SieveDone`
+/// only re-runs the offline Check plus the final χ² test.
+#[derive(Debug, Clone)]
+pub enum PipelinePoint {
+    /// Nothing has run yet (a fresh, un-checkpointed run).
+    Start,
+    /// ApproxPart finished and produced this partition.
+    PartitionDone {
+        /// The ApproxPart partition of `[n]`.
+        partition: Partition,
+    },
+    /// The learner finished; the partition itself is no longer needed
+    /// downstream, only its size.
+    HypothesisDone {
+        /// Size `K` of the ApproxPart partition.
+        partition_size: usize,
+        /// The learned hypothesis `D̂`.
+        d_hat: KHistogram,
+    },
+    /// The sieve finished (or was ablated away).
+    SieveDone {
+        /// Size `K` of the ApproxPart partition.
+        partition_size: usize,
+        /// The learned hypothesis `D̂`.
+        d_hat: KHistogram,
+        /// The sieve outcome, including its reject/discard verdicts.
+        sieve: SieveOutcome,
+    },
+}
+
+impl PipelinePoint {
+    /// Stable machine name of the boundary, used in checkpoint files and
+    /// log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelinePoint::Start => "start",
+            PipelinePoint::PartitionDone { .. } => "partition",
+            PipelinePoint::HypothesisDone { .. } => "hypothesis",
+            PipelinePoint::SieveDone { .. } => "sieve",
+        }
+    }
+}
 
 /// Stage toggles for ablation studies (experiment A1): disabling a stage
 /// shows what it buys. Defaults to everything enabled.
@@ -171,111 +219,193 @@ impl HistogramTester {
         epsilon: f64,
         rng: &mut dyn RngCore,
     ) -> Result<TesterTrace, StageError> {
+        let mut oracle = oracle;
+        self.try_test_traced_at(
+            &mut oracle,
+            k,
+            epsilon,
+            rng,
+            PipelinePoint::Start,
+            &mut |_, _| Ok(()),
+        )
+    }
+
+    /// [`HistogramTester::try_test_traced`] with resumable stage
+    /// boundaries — the checkpoint/resume entry point of `histo-recovery`.
+    ///
+    /// `from` is the boundary to (re)start at: `Start` for a fresh run, or
+    /// a deserialized [`PipelinePoint`] to skip the stages that already
+    /// ran. `boundary` fires after each stage completes, *before* its
+    /// result is consumed downstream, with the point that would restart
+    /// the run there and the oracle (so hooks can read its draw position).
+    /// A hook error aborts the run attributed to stage `"checkpoint"`.
+    ///
+    /// With `from = Start` and a no-op hook this is exactly
+    /// [`HistogramTester::try_test_traced`]: same draw order, same RNG
+    /// consumption, same trace events. On a resumed run,
+    /// [`TesterTrace::samples_used`] counts post-resume draws only (the
+    /// full run total lives in the trace ledger, which checkpoints carry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StageError`] naming the failing stage.
+    pub fn try_test_traced_at<O: SampleOracle>(
+        &self,
+        oracle: &mut O,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+        from: PipelinePoint,
+        boundary: &mut dyn FnMut(&PipelinePoint, &mut O) -> Result<(), HistoError>,
+    ) -> Result<TesterTrace, StageError> {
         let at = |stage: &'static str| move |error: HistoError| StageError { stage, error };
         let n = oracle.n();
         validate_params(n, k, epsilon).map_err(at("params"))?;
         let start = oracle.samples_drawn();
         let cfg = &self.config;
 
-        // Steps 1–3: ApproxPart.
-        let b = cfg.b(k, epsilon).max(1.0);
-        let ap_samples = cfg.approx_part_samples(b);
-        let ap = approx_part(oracle, b, ap_samples, rng).map_err(at(Stage::ApproxPart.name()))?;
-        let partition_size = ap.partition.len();
+        let mut cur = from;
+        loop {
+            cur = match cur {
+                // Steps 1–3: ApproxPart.
+                PipelinePoint::Start => {
+                    let b = cfg.b(k, epsilon).max(1.0);
+                    let ap_samples = cfg.approx_part_samples(b);
+                    let ap = approx_part(&mut *oracle, b, ap_samples, rng)
+                        .map_err(at(Stage::ApproxPart.name()))?;
+                    let next = PipelinePoint::PartitionDone {
+                        partition: ap.partition,
+                    };
+                    boundary(&next, oracle).map_err(at("checkpoint"))?;
+                    next
+                }
+                // Step 4: Learner.
+                PipelinePoint::PartitionDone { partition } => {
+                    let partition_size = partition.len();
+                    let eps_learn = epsilon / cfg.learner_eps_divisor;
+                    let m_learn = cfg.learner_samples(partition_size, eps_learn);
+                    let d_hat = learn(&mut *oracle, &partition, m_learn, rng)
+                        .map_err(at(Stage::Learner.name()))?;
+                    let next = PipelinePoint::HypothesisDone {
+                        partition_size,
+                        d_hat,
+                    };
+                    boundary(&next, oracle).map_err(at("checkpoint"))?;
+                    next
+                }
+                // Steps 6–8: Sieve (skippable for ablation).
+                PipelinePoint::HypothesisDone {
+                    partition_size,
+                    d_hat,
+                } => {
+                    let sieve_out = if self.ablation.sieve {
+                        sieve(&mut *oracle, &d_hat, k, epsilon, cfg, rng)
+                            .map_err(at(Stage::Sieve.name()))?
+                    } else {
+                        SieveOutcome {
+                            rejected: false,
+                            discarded: vec![],
+                            rounds_used: 0,
+                            early_accept: false,
+                        }
+                    };
+                    let next = PipelinePoint::SieveDone {
+                        partition_size,
+                        d_hat,
+                        sieve: sieve_out,
+                    };
+                    boundary(&next, oracle).map_err(at("checkpoint"))?;
+                    next
+                }
+                // Steps 10–13: Check + final χ² test. Draws from here on
+                // happen after the last boundary, so there is nothing left
+                // to checkpoint — the arm returns instead of looping.
+                PipelinePoint::SieveDone {
+                    partition_size,
+                    d_hat,
+                    sieve: sieve_out,
+                } => {
+                    if sieve_out.rejected {
+                        oracle.trace_counter("decided_by", Value::Str("sieve"));
+                        oracle.trace_counter("accepted", Value::Bool(false));
+                        return Ok(TesterTrace {
+                            decision: Decision::Reject,
+                            decided_by: "sieve",
+                            partition_size,
+                            sieve: Some(sieve_out),
+                            hypothesis: Some(d_hat),
+                            samples_used: oracle.samples_drawn() - start,
+                        });
+                    }
+                    let surviving = sieve_out.surviving(partition_size);
 
-        // Step 4: Learner.
-        let eps_learn = epsilon / cfg.learner_eps_divisor;
-        let m_learn = cfg.learner_samples(partition_size, eps_learn);
-        let d_hat =
-            learn(oracle, &ap.partition, m_learn, rng).map_err(at(Stage::Learner.name()))?;
+                    // Step 10: Check — some D* ∈ H_k must be close to D̂ on
+                    // G. Draws no samples, but runs inside a span so the
+                    // trace carries its wall time alongside the sampling
+                    // stages.
+                    let mut counted = vec![false; partition_size];
+                    for &j in &surviving {
+                        counted[j] = true;
+                    }
+                    oracle.trace_enter(Stage::Check);
+                    let check_res = if self.ablation.check {
+                        check_close_to_hk(&d_hat, &counted, k, epsilon / cfg.check_divisor)
+                    } else {
+                        Ok(true)
+                    };
+                    if let Ok(ok) = &check_res {
+                        oracle.trace_counter("check_ok", Value::Bool(*ok));
+                    }
+                    oracle.trace_exit();
+                    if !check_res.map_err(at(Stage::Check.name()))? {
+                        oracle.trace_counter("decided_by", Value::Str("check"));
+                        oracle.trace_counter("accepted", Value::Bool(false));
+                        return Ok(TesterTrace {
+                            decision: Decision::Reject,
+                            decided_by: "check",
+                            partition_size,
+                            sieve: Some(sieve_out),
+                            hypothesis: Some(d_hat),
+                            samples_used: oracle.samples_drawn() - start,
+                        });
+                    }
 
-        // Steps 6–8: Sieve (skippable for ablation).
-        let sieve_out = if self.ablation.sieve {
-            sieve(oracle, &d_hat, k, epsilon, cfg, rng).map_err(at(Stage::Sieve.name()))?
-        } else {
-            crate::sieve::SieveOutcome {
-                rejected: false,
-                discarded: vec![],
-                rounds_used: 0,
-                early_accept: false,
-            }
-        };
-        if sieve_out.rejected {
-            oracle.trace_counter("decided_by", Value::Str("sieve"));
-            oracle.trace_counter("accepted", Value::Bool(false));
-            return Ok(TesterTrace {
-                decision: Decision::Reject,
-                decided_by: "sieve",
-                partition_size,
-                sieve: Some(sieve_out),
-                hypothesis: Some(d_hat),
-                samples_used: oracle.samples_drawn() - start,
-            });
+                    // Steps 12–13: final χ² test on the surviving domain.
+                    let eps_prime = cfg.final_eps_factor * epsilon;
+                    let mut cfg_final = *cfg;
+                    if !self.ablation.aeps_cutoff {
+                        cfg_final.aeps_fraction = 0.0;
+                    }
+                    let chi2 =
+                        ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)
+                            .map_err(at(Stage::AdkTest.name()))?;
+                    let decision = chi2
+                        .try_run(&mut *oracle, rng)
+                        .map_err(at(Stage::AdkTest.name()))?;
+                    oracle.trace_counter(
+                        "decided_by",
+                        Value::Str(if decision.accepted() {
+                            "accept"
+                        } else {
+                            "chi2"
+                        }),
+                    );
+                    oracle.trace_counter("accepted", Value::Bool(decision.accepted()));
+                    return Ok(TesterTrace {
+                        decided_by: if decision.accepted() {
+                            "accept"
+                        } else {
+                            "chi2"
+                        },
+                        decision,
+                        partition_size,
+                        sieve: Some(sieve_out),
+                        hypothesis: Some(d_hat),
+                        samples_used: oracle.samples_drawn() - start,
+                    });
+                }
+            };
         }
-        let surviving = sieve_out.surviving(partition_size);
-
-        // Step 10: Check — some D* ∈ H_k must be close to D̂ on G. Draws
-        // no samples, but runs inside a span so the trace carries its
-        // wall time alongside the sampling stages.
-        let mut counted = vec![false; partition_size];
-        for &j in &surviving {
-            counted[j] = true;
-        }
-        oracle.trace_enter(Stage::Check);
-        let check_res = if self.ablation.check {
-            check_close_to_hk(&d_hat, &counted, k, epsilon / cfg.check_divisor)
-        } else {
-            Ok(true)
-        };
-        if let Ok(ok) = &check_res {
-            oracle.trace_counter("check_ok", Value::Bool(*ok));
-        }
-        oracle.trace_exit();
-        if !check_res.map_err(at(Stage::Check.name()))? {
-            oracle.trace_counter("decided_by", Value::Str("check"));
-            oracle.trace_counter("accepted", Value::Bool(false));
-            return Ok(TesterTrace {
-                decision: Decision::Reject,
-                decided_by: "check",
-                partition_size,
-                sieve: Some(sieve_out),
-                hypothesis: Some(d_hat),
-                samples_used: oracle.samples_drawn() - start,
-            });
-        }
-
-        // Steps 12–13: final χ² test on the surviving domain.
-        let eps_prime = cfg.final_eps_factor * epsilon;
-        let mut cfg_final = *cfg;
-        if !self.ablation.aeps_cutoff {
-            cfg_final.aeps_fraction = 0.0;
-        }
-        let chi2 = ChiSquareTest::restricted(d_hat.clone(), surviving, eps_prime, &cfg_final)
-            .map_err(at(Stage::AdkTest.name()))?;
-        let decision = chi2
-            .try_run(oracle, rng)
-            .map_err(at(Stage::AdkTest.name()))?;
-        oracle.trace_counter(
-            "decided_by",
-            Value::Str(if decision.accepted() {
-                "accept"
-            } else {
-                "chi2"
-            }),
-        );
-        oracle.trace_counter("accepted", Value::Bool(decision.accepted()));
-        Ok(TesterTrace {
-            decided_by: if decision.accepted() {
-                "accept"
-            } else {
-                "chi2"
-            },
-            decision,
-            partition_size,
-            sieve: Some(sieve_out),
-            hypothesis: Some(d_hat),
-            samples_used: oracle.samples_drawn() - start,
-        })
     }
 }
 
@@ -447,6 +577,81 @@ mod tests {
         assert!(tester.test(&mut o, 0, 0.5, &mut rng).is_err());
         assert!(tester.test(&mut o, 1, 2.0, &mut rng).is_err());
         assert!(tester.test(&mut o, 11, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resume_from_any_boundary_reproduces_the_run() {
+        use histo_sampling::SharedRng;
+        let d = Distribution::uniform(300).unwrap();
+        let tester = HistogramTester::practical();
+
+        // Reference run with a hook that snapshots (point, oracle, RNG
+        // state) at every stage boundary — the state a checkpoint stores.
+        let mut rng = SharedRng::seed_from(4242);
+        let probe = rng.clone();
+        let mut o_ref = DistOracle::new(d.clone()).with_fast_poissonization();
+        let mut snapshots: Vec<(PipelinePoint, DistOracle, [u64; 4])> = Vec::new();
+        let reference = tester
+            .try_test_traced_at(
+                &mut o_ref,
+                2,
+                0.4,
+                &mut rng,
+                PipelinePoint::Start,
+                &mut |pt, o| {
+                    snapshots.push((pt.clone(), o.clone(), probe.state()));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(snapshots.len(), 3, "partition, hypothesis, sieve");
+
+        // Hooks must not perturb the run: a hook-free run from the same
+        // seed consumes the same draws and decides the same way.
+        let mut rng2 = SharedRng::seed_from(4242);
+        let mut o2 = DistOracle::new(d).with_fast_poissonization();
+        let plain = tester
+            .test_traced(&mut o2, 2, 0.4, &mut rng2)
+            .unwrap();
+        assert_eq!(plain.decision, reference.decision);
+        assert_eq!(o2.samples_drawn(), o_ref.samples_drawn());
+
+        // Restarting from every boundary replays the tail exactly.
+        for (pt, mut o, rng_state) in snapshots {
+            let name = pt.name();
+            let mut rng = SharedRng::from_state(rng_state);
+            let resumed = tester
+                .try_test_traced_at(&mut o, 2, 0.4, &mut rng, pt, &mut |_, _| Ok(()))
+                .unwrap_or_else(|e| panic!("resume from {name}: {e}"));
+            assert_eq!(resumed.decision, reference.decision, "from {name}");
+            assert_eq!(resumed.decided_by, reference.decided_by, "from {name}");
+            assert_eq!(o.samples_drawn(), o_ref.samples_drawn(), "from {name}");
+            assert_eq!(rng.state(), probe.state(), "from {name}");
+        }
+    }
+
+    #[test]
+    fn boundary_hook_error_attributes_to_checkpoint_stage() {
+        let d = Distribution::uniform(300).unwrap();
+        let tester = HistogramTester::practical();
+        let mut rng = StdRng::seed_from_u64(4243);
+        let mut o = DistOracle::new(d).with_fast_poissonization();
+        let err = tester
+            .try_test_traced_at(
+                &mut o,
+                2,
+                0.4,
+                &mut rng,
+                PipelinePoint::Start,
+                &mut |_, _| {
+                    Err(HistoError::InvalidParameter {
+                        name: "checkpoint",
+                        reason: "disk full".into(),
+                    })
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.stage, "checkpoint");
     }
 
     #[test]

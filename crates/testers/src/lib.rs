@@ -47,7 +47,11 @@
 //!   sample-budget enforcement, deterministic retry-with-amplification,
 //!   and per-stage panic isolation, degrading gracefully to a structured
 //!   [`robust::Outcome::Inconclusive`] instead of panicking or silently
-//!   returning a coin flip.
+//!   returning a coin flip. [`robust::RobustRunner::run_with_hooks`] adds
+//!   checkpoint hooks at every pipeline boundary and mid-round resume
+//!   (from a [`robust::ResumeState`]) for the `histo-recovery`
+//!   crash-recovery layer, and deadline failures surface as
+//!   [`robust::InconclusiveReason::DeadlineExceeded`].
 //!
 //! All testers implement [`Tester`]; they interact with the unknown
 //! distribution only through a counting [`SampleOracle`], so every

@@ -28,8 +28,16 @@
 //! bitwise identical to [`HistogramTester::test_traced`]: same draw order,
 //! same RNG consumption, same trace bytes (the determinism suite pins
 //! this).
+//!
+//! For crash recovery, [`RobustRunner::run_with_hooks`] exposes every
+//! pipeline boundary to a checkpoint hook and accepts a [`ResumeState`]
+//! that re-enters an interrupted run mid-round — the `histo-recovery`
+//! crate builds checkpoint/resume and deadline supervision on top of it.
+//! A deadline overrun (a typed [`HistoError::DeadlineExceeded`] from a
+//! supervising oracle) ends the run immediately with
+//! [`InconclusiveReason::DeadlineExceeded`] and the partial ledger.
 
-use crate::histogram_tester::{HistogramTester, StageError};
+use crate::histogram_tester::{HistogramTester, PipelinePoint, StageError};
 use crate::Decision;
 use histo_core::HistoError;
 use histo_sampling::oracle::SampleOracle;
@@ -64,6 +72,16 @@ pub enum InconclusiveReason {
         /// Rounds that failed (budget or panic) and cast no vote.
         failed_rounds: usize,
     },
+    /// A supervised run overran its wall-clock deadline (the
+    /// `histo-recovery` `DeadlineOracle` refused a draw). Terminal: the
+    /// run ends immediately rather than retrying against a clock that has
+    /// already expired.
+    DeadlineExceeded {
+        /// The deadline, in microseconds.
+        deadline_us: u64,
+        /// Clock time elapsed when the overrun was detected.
+        elapsed_us: u64,
+    },
 }
 
 impl fmt::Display for InconclusiveReason {
@@ -82,6 +100,13 @@ impl fmt::Display for InconclusiveReason {
             } => write!(
                 f,
                 "no quorum: {accepts} accept, {rejects} reject, {failed_rounds} failed"
+            ),
+            InconclusiveReason::DeadlineExceeded {
+                deadline_us,
+                elapsed_us,
+            } => write!(
+                f,
+                "deadline exceeded ({elapsed_us} us elapsed of a {deadline_us} us budget)"
             ),
         }
     }
@@ -135,9 +160,53 @@ enum RoundFailure {
         stage: Option<&'static str>,
         message: String,
     },
+    /// A wall-clock deadline expired mid-stage. Terminal: ends the whole
+    /// run as `Inconclusive` without burning retries against a dead clock.
+    Deadline {
+        stage: &'static str,
+        deadline_us: u64,
+        elapsed_us: u64,
+    },
     /// A non-recoverable error (bad parameters, degenerate data):
     /// retrying cannot help, so it propagates as a hard `Err`.
     Fatal(HistoError),
+}
+
+/// Where a [`RobustRunner`] run is in its round schedule — the half of a
+/// checkpoint that belongs to the runner (the other half is the
+/// [`PipelinePoint`] inside the current round). All fields are plain data
+/// so the recovery crate can serialize them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProgress {
+    /// The round a resume re-enters (0-based; the round that was in
+    /// flight when the snapshot was taken).
+    pub next_round: usize,
+    /// Completed rounds that voted accept.
+    pub accepts: usize,
+    /// Completed rounds that voted reject.
+    pub rejects: usize,
+    /// Completed rounds that failed and cast no vote.
+    pub failed: usize,
+    /// Absolute [`SampleOracle::samples_drawn`] reading when the run
+    /// started (cumulative budget allowances are measured from here).
+    pub run_start_drawn: u64,
+    /// Absolute draw count when the in-flight round started (per-round
+    /// budget slices are measured from here).
+    pub round_start_drawn: u64,
+    /// The most recent round failure, if any (reported verbatim when the
+    /// run ends with every round failed).
+    pub last_failure: Option<(InconclusiveReason, Option<&'static str>)>,
+}
+
+/// A deserialized checkpoint position: runner progress plus the pipeline
+/// boundary to restart the in-flight round at.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// Round schedule position.
+    pub progress: RunProgress,
+    /// Boundary inside the in-flight round ([`PipelinePoint::Start`] for
+    /// a between-rounds snapshot).
+    pub point: PipelinePoint,
 }
 
 /// Resilient wrapper around [`HistogramTester`]: budget caps, majority
@@ -196,68 +265,162 @@ impl RobustRunner {
         epsilon: f64,
         rng: &mut dyn RngCore,
     ) -> Result<Outcome, HistoError> {
+        let mut oracle = oracle;
+        self.run_with_hooks(&mut oracle, k, epsilon, rng, None, &mut |_, _, _| Ok(()))
+    }
+
+    /// [`RobustRunner::run`] with checkpoint hooks and resume — the
+    /// `histo-recovery` entry point.
+    ///
+    /// `hook` fires at every resumable boundary: once at the start of each
+    /// round (with [`PipelinePoint::Start`]) and once after each pipeline
+    /// stage inside a round, receiving the runner's progress, the boundary
+    /// point, and the raw oracle (unwrapped from any per-round budget cap,
+    /// so checkpoint hooks see true draw positions). A hook error is
+    /// fatal and propagates as `Err`.
+    ///
+    /// `resume` restarts an interrupted run: counters and budget baselines
+    /// come from the checkpointed [`RunProgress`], and the in-flight round
+    /// re-enters the pipeline at the checkpointed [`PipelinePoint`]. On
+    /// the resumed boundary the round-start hook deliberately does NOT
+    /// re-fire — its event already happened in the crashed segment.
+    ///
+    /// With `resume = None` and a no-op hook this is exactly
+    /// [`RobustRunner::run`], draw for draw.
+    ///
+    /// # Errors
+    ///
+    /// As [`RobustRunner::run`], plus hook failures.
+    pub fn run_with_hooks<O: SampleOracle>(
+        &self,
+        oracle: &mut O,
+        k: usize,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+        resume: Option<ResumeState>,
+        hook: &mut dyn FnMut(&RunProgress, &PipelinePoint, &mut O) -> Result<(), HistoError>,
+    ) -> Result<Outcome, HistoError> {
         crate::validate_params(oracle.n(), k, epsilon)?;
         let rounds = self.retries;
-        let run_start = oracle.samples_drawn();
-        let mut accepts = 0usize;
-        let mut rejects = 0usize;
-        let mut failed = 0usize;
-        let mut last_failure: Option<(InconclusiveReason, Option<&'static str>)> = None;
+        let (mut progress, mut resume_point) = match resume {
+            Some(ResumeState { progress, point }) => (progress, Some(point)),
+            None => (
+                RunProgress {
+                    next_round: 0,
+                    accepts: 0,
+                    rejects: 0,
+                    failed: 0,
+                    run_start_drawn: oracle.samples_drawn(),
+                    round_start_drawn: oracle.samples_drawn(),
+                    last_failure: None,
+                },
+                None,
+            ),
+        };
 
-        for round in 0..rounds {
+        for round in progress.next_round..rounds {
+            let from = match resume_point.take() {
+                // Mid-run resume: baselines come from the checkpoint and
+                // the round-start hook already fired in the dead segment.
+                Some(point) => point,
+                None => {
+                    progress.next_round = round;
+                    progress.round_start_drawn = oracle.samples_drawn();
+                    hook(&progress, &PipelinePoint::Start, oracle)?;
+                    PipelinePoint::Start
+                }
+            };
+            let snapshot = progress.clone();
             let result = match self.budget {
-                None => self.round(&mut *oracle, k, epsilon, rng),
+                None => {
+                    let mut boundary =
+                        |pt: &PipelinePoint, o: &mut O| hook(&snapshot, pt, o);
+                    self.round_at(&mut *oracle, k, epsilon, rng, from, &mut boundary)
+                }
                 Some(total) => {
-                    let allowance = ((total as u128 * (round as u128 + 1)) / rounds as u128) as u64;
-                    let used = oracle.samples_drawn() - run_start;
-                    let mut capped =
-                        BudgetedOracle::new(&mut *oracle, allowance.saturating_sub(used));
-                    self.round(&mut capped, k, epsilon, rng)
+                    let allowance =
+                        ((total as u128 * (round as u128 + 1)) / rounds as u128) as u64;
+                    // The slice available to this round, measured from the
+                    // checkpointable round baseline — so a resumed
+                    // half-round refuses at exactly the same draw (with
+                    // the same reported budget/drawn pair) as the
+                    // uninterrupted run.
+                    let budget_r = allowance
+                        .saturating_sub(progress.round_start_drawn - progress.run_start_drawn);
+                    let mut capped = BudgetedOracle::new(&mut *oracle, budget_r)
+                        .rebased(progress.round_start_drawn);
+                    let mut boundary = |pt: &PipelinePoint, o: &mut BudgetedOracle<'_, O>| {
+                        hook(&snapshot, pt, o.inner_mut())
+                    };
+                    self.round_at(&mut capped, k, epsilon, rng, from, &mut boundary)
                 }
             };
             match result {
                 Ok(decision) => {
                     if decision.accepted() {
-                        accepts += 1;
+                        progress.accepts += 1;
                     } else {
-                        rejects += 1;
+                        progress.rejects += 1;
                     }
                 }
                 Err(RoundFailure::Fatal(e)) => return Err(e),
+                Err(RoundFailure::Deadline {
+                    stage,
+                    deadline_us,
+                    elapsed_us,
+                }) => {
+                    // The clock is shared across rounds: retrying cannot
+                    // produce a verdict before a deadline that has already
+                    // passed, so end the run here, honestly.
+                    let partial_ledger = oracle
+                        .tracer()
+                        .map(|t| t.ledger().clone())
+                        .unwrap_or_default();
+                    return Ok(Outcome::Inconclusive {
+                        reason: InconclusiveReason::DeadlineExceeded {
+                            deadline_us,
+                            elapsed_us,
+                        },
+                        stage: Some(stage),
+                        partial_ledger,
+                    });
+                }
                 Err(RoundFailure::Exhausted {
                     stage,
                     budget,
                     drawn,
                 }) => {
-                    failed += 1;
-                    last_failure = Some((
+                    progress.failed += 1;
+                    progress.last_failure = Some((
                         InconclusiveReason::BudgetExhausted { budget, drawn },
                         Some(stage),
                     ));
                 }
                 Err(RoundFailure::Panicked { stage, message }) => {
-                    failed += 1;
-                    last_failure = Some((InconclusiveReason::StagePanicked { message }, stage));
+                    progress.failed += 1;
+                    progress.last_failure =
+                        Some((InconclusiveReason::StagePanicked { message }, stage));
                 }
             }
+            progress.next_round = round + 1;
             // Strict majority locked in: remaining rounds cannot flip it.
-            if 2 * accepts > rounds {
+            if 2 * progress.accepts > rounds {
                 return Ok(Outcome::Conclusive(Decision::Accept));
             }
-            if 2 * rejects > rounds {
+            if 2 * progress.rejects > rounds {
                 return Ok(Outcome::Conclusive(Decision::Reject));
             }
         }
 
         // No quorum. If no round managed to vote at all, the last failure
         // is the whole story; otherwise report the vote split.
-        let (reason, stage) = match last_failure {
-            Some(failure) if accepts == 0 && rejects == 0 => failure,
+        let (reason, stage) = match progress.last_failure {
+            Some(failure) if progress.accepts == 0 && progress.rejects == 0 => failure,
             _ => (
                 InconclusiveReason::NoQuorum {
-                    accepts,
-                    rejects,
-                    failed_rounds: failed,
+                    accepts: progress.accepts,
+                    rejects: progress.rejects,
+                    failed_rounds: progress.failed,
                 },
                 None,
             ),
@@ -275,16 +438,18 @@ impl RobustRunner {
 
     /// One isolated round: the tester under `catch_unwind`, with
     /// post-panic span repair on the attached tracer.
-    fn round(
+    fn round_at<O: SampleOracle>(
         &self,
-        oracle: &mut dyn SampleOracle,
+        oracle: &mut O,
         k: usize,
         epsilon: f64,
         rng: &mut dyn RngCore,
+        from: PipelinePoint,
+        boundary: &mut dyn FnMut(&PipelinePoint, &mut O) -> Result<(), HistoError>,
     ) -> Result<Decision, RoundFailure> {
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.tester
-                .try_test_traced(&mut *oracle, k, epsilon, &mut *rng)
+                .try_test_traced_at(&mut *oracle, k, epsilon, &mut *rng, from, &mut *boundary)
         }));
         match result {
             Ok(Ok(trace)) => Ok(trace.decision),
@@ -295,6 +460,18 @@ impl RobustRunner {
                 stage,
                 budget,
                 drawn,
+            }),
+            Ok(Err(StageError {
+                stage,
+                error:
+                    HistoError::DeadlineExceeded {
+                        deadline_us,
+                        elapsed_us,
+                    },
+            })) => Err(RoundFailure::Deadline {
+                stage,
+                deadline_us,
+                elapsed_us,
             }),
             Ok(Err(StageError { error, .. })) => Err(RoundFailure::Fatal(error)),
             Err(payload) => {
@@ -333,14 +510,16 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use histo_core::empirical::SampleCounts;
     use histo_core::Distribution;
-    use histo_sampling::{DistOracle, ScopedOracle};
+    use histo_sampling::{DistOracle, ScopedOracle, SharedRng};
     use histo_trace::Tracer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     /// Delegates to a real oracle but panics on exactly one draw index,
     /// exercising panic isolation and (on retry) recovery.
+    #[derive(Clone)]
     struct FlakyOracle {
         inner: DistOracle,
         panic_at: u64,
@@ -360,6 +539,60 @@ mod tests {
         }
         fn samples_drawn(&self) -> u64 {
             self.inner.samples_drawn()
+        }
+    }
+
+    /// Delegates to a real oracle but refuses every fallible draw with a
+    /// deadline error once a draw count is reached — a stand-in for the
+    /// `histo-recovery` deadline supervisor.
+    struct ExpiringOracle {
+        inner: DistOracle,
+        expire_at: u64,
+        refusals: u64,
+    }
+
+    impl ExpiringOracle {
+        fn check(&mut self) -> Result<(), HistoError> {
+            if self.inner.samples_drawn() >= self.expire_at {
+                self.refusals += 1;
+                return Err(HistoError::DeadlineExceeded {
+                    deadline_us: 5_000,
+                    elapsed_us: 6_250,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl SampleOracle for ExpiringOracle {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn draw(&mut self, rng: &mut dyn RngCore) -> usize {
+            self.inner.draw(rng)
+        }
+        fn samples_drawn(&self) -> u64 {
+            self.inner.samples_drawn()
+        }
+        fn try_draw(&mut self, rng: &mut dyn RngCore) -> Result<usize, HistoError> {
+            self.check()?;
+            self.inner.try_draw(rng)
+        }
+        fn try_draw_counts(
+            &mut self,
+            m: u64,
+            rng: &mut dyn RngCore,
+        ) -> Result<SampleCounts, HistoError> {
+            self.check()?;
+            self.inner.try_draw_counts(m, rng)
+        }
+        fn try_poissonized_counts(
+            &mut self,
+            m: f64,
+            rng: &mut dyn RngCore,
+        ) -> Result<SampleCounts, HistoError> {
+            self.check()?;
+            self.inner.try_poissonized_counts(m, rng)
         }
     }
 
@@ -505,5 +738,156 @@ mod tests {
             Outcome::Conclusive(Decision::Reject).decision(),
             Some(Decision::Reject)
         );
+        let r = InconclusiveReason::DeadlineExceeded {
+            deadline_us: 5_000,
+            elapsed_us: 6_250,
+        };
+        assert_eq!(
+            r.to_string(),
+            "deadline exceeded (6250 us elapsed of a 5000 us budget)"
+        );
+    }
+
+    #[test]
+    fn resume_from_each_boundary_matches_the_uninterrupted_run() {
+        let d = Distribution::uniform(300).unwrap();
+        let runner = RobustRunner::new(HistogramTester::practical());
+
+        let shared = SharedRng::seed_from(777);
+        let probe = shared.clone();
+        let mut rng = shared.clone();
+        let mut oracle = DistOracle::new(d).with_fast_poissonization();
+        let mut snapshots: Vec<(RunProgress, PipelinePoint, DistOracle, [u64; 4])> = Vec::new();
+        let full = runner
+            .run_with_hooks(
+                &mut oracle,
+                2,
+                0.4,
+                &mut rng,
+                None,
+                &mut |p, pt, o: &mut DistOracle| {
+                    snapshots.push((p.clone(), pt.clone(), o.clone(), probe.state()));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let full_drawn = oracle.samples_drawn();
+        let final_state = probe.state();
+
+        // One round: boundaries at Start, partition, hypothesis, sieve.
+        assert_eq!(snapshots.len(), 4);
+        for (progress, point, oracle_at, rng_state) in snapshots {
+            let name = point.name();
+            let mut o = oracle_at;
+            let mut rng = SharedRng::from_state(rng_state);
+            let resumed = runner
+                .run_with_hooks(
+                    &mut o,
+                    2,
+                    0.4,
+                    &mut rng,
+                    Some(ResumeState { progress, point }),
+                    &mut |_, _, _| Ok(()),
+                )
+                .unwrap();
+            assert_eq!(resumed, full, "diverged resuming at {name}");
+            assert_eq!(o.samples_drawn(), full_drawn, "draw drift at {name}");
+            assert_eq!(rng.state(), final_state, "RNG drift at {name}");
+        }
+    }
+
+    #[test]
+    fn resume_reenters_the_same_retry_round() {
+        let d = Distribution::uniform(300).unwrap();
+        let runner = RobustRunner::new(HistogramTester::practical()).with_retries(3);
+
+        let shared = SharedRng::seed_from(778);
+        let probe = shared.clone();
+        let mut rng = shared.clone();
+        let mut oracle = FlakyOracle {
+            inner: DistOracle::new(d),
+            panic_at: 10,
+        };
+        let mut snapshots: Vec<(RunProgress, PipelinePoint, FlakyOracle, [u64; 4])> = Vec::new();
+        let full = runner
+            .run_with_hooks(
+                &mut oracle,
+                2,
+                0.4,
+                &mut rng,
+                None,
+                &mut |p, pt, o: &mut FlakyOracle| {
+                    snapshots.push((p.clone(), pt.clone(), o.clone(), probe.state()));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        // Round 0 dies at draw 10; rounds 1 and 2 run clean and agree.
+        assert_eq!(full, Outcome::Conclusive(Decision::Accept));
+        let full_drawn = oracle.samples_drawn();
+
+        // Pick a checkpoint mid-way through retry round 1 — it must carry
+        // round 0's failure so a resume re-enters the SAME retry round.
+        let (progress, point, oracle_at, rng_state) = snapshots
+            .into_iter()
+            .find(|(p, pt, _, _)| {
+                p.next_round == 1 && matches!(pt, PipelinePoint::PartitionDone { .. })
+            })
+            .expect("round 1 reaches the partition boundary");
+        assert_eq!(progress.failed, 1);
+        assert!(matches!(
+            progress.last_failure,
+            Some((InconclusiveReason::StagePanicked { .. }, _))
+        ));
+
+        let mut o = oracle_at;
+        let mut rng = SharedRng::from_state(rng_state);
+        let resumed = runner
+            .run_with_hooks(
+                &mut o,
+                2,
+                0.4,
+                &mut rng,
+                Some(ResumeState { progress, point }),
+                &mut |_, _, _| Ok(()),
+            )
+            .unwrap();
+        // Same verdict, same total draws: round 0 was not re-run and no
+        // vote was double counted.
+        assert_eq!(resumed, full);
+        assert_eq!(o.samples_drawn(), full_drawn);
+    }
+
+    #[test]
+    fn deadline_failure_ends_the_run_immediately() {
+        let d = Distribution::uniform(300).unwrap();
+        let mut o = ExpiringOracle {
+            inner: DistOracle::new(d),
+            expire_at: 120,
+            refusals: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(9021);
+        let outcome = RobustRunner::new(HistogramTester::practical())
+            .with_retries(5)
+            .run(&mut o, 2, 0.4, &mut rng)
+            .unwrap();
+        match outcome {
+            Outcome::Inconclusive { reason, stage, .. } => {
+                assert_eq!(
+                    reason,
+                    InconclusiveReason::DeadlineExceeded {
+                        deadline_us: 5_000,
+                        elapsed_us: 6_250,
+                    }
+                );
+                // The check fires before each fallible call, so the first
+                // refusal lands on the stage after the threshold is crossed.
+                assert_eq!(stage, Some("learner"));
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        // Terminal: the remaining four retry rounds never probed the
+        // expired oracle again.
+        assert_eq!(o.refusals, 1);
     }
 }

@@ -42,6 +42,23 @@ impl Stage {
             Stage::Other(name) => name,
         }
     }
+
+    /// Inverse of [`Stage::name`] for the fixed variants — how
+    /// checkpoints deserialize their ledger/timing rows. [`Stage::Other`]
+    /// names are not resolvable (the payload is a `&'static str` owned by
+    /// the instrumenting crate), so callers must intern those themselves.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Some(match name {
+            "approx_part" => Stage::ApproxPart,
+            "learner" => Stage::Learner,
+            "sieve" => Stage::Sieve,
+            "check" => Stage::Check,
+            "adk_test" => Stage::AdkTest,
+            "uniformity" => Stage::Uniformity,
+            "model_selection" => Stage::ModelSelection,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Stage {
@@ -326,6 +343,22 @@ mod tests {
         assert_eq!(Stage::AdkTest.name(), "adk_test");
         assert_eq!(Stage::Other("warmup").name(), "warmup");
         assert_eq!(Stage::Sieve.to_string(), "sieve");
+    }
+
+    #[test]
+    fn from_name_round_trips_fixed_variants() {
+        for s in [
+            Stage::ApproxPart,
+            Stage::Learner,
+            Stage::Sieve,
+            Stage::Check,
+            Stage::AdkTest,
+            Stage::Uniformity,
+            Stage::ModelSelection,
+        ] {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("warmup"), None);
     }
 
     #[test]

@@ -31,6 +31,18 @@ impl SampleLedger {
         Self::default()
     }
 
+    /// Rebuilds a ledger from serialized parts (checkpoint resume). The
+    /// grand total is recomputed, so the partition invariant holds by
+    /// construction for any input.
+    pub fn from_parts(entries: Vec<(Stage, u64)>, unattributed: u64) -> Self {
+        let total = entries.iter().map(|(_, n)| n).sum::<u64>() + unattributed;
+        Self {
+            entries,
+            unattributed,
+            total,
+        }
+    }
+
     fn charge(&mut self, stage: Option<Stage>, samples: u64) {
         self.total += samples;
         match stage {
@@ -104,6 +116,11 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
+    /// Rebuilds timings from serialized parts (checkpoint resume).
+    pub fn from_parts(entries: Vec<(Stage, StageWall)>, root_us: u64) -> Self {
+        Self { entries, root_us }
+    }
+
     /// Per-stage totals in first-seen order.
     pub fn entries(&self) -> &[(Stage, StageWall)] {
         &self.entries
@@ -185,6 +202,27 @@ impl Tracer {
             probe: None,
             alloc_last: (0, 0),
         }
+    }
+
+    /// A tracer continuing an interrupted run: event sequence numbers
+    /// start at `next_seq` and the ledger/timings are preloaded from a
+    /// checkpoint, so the resumed segment's events and end-of-run summary
+    /// carry on exactly where the crashed segment stopped. Timing and
+    /// clock configuration start from the defaults (chain
+    /// [`Tracer::without_timing`] / [`Tracer::with_clock`] as for a new
+    /// tracer); wall-clock origins deliberately restart per segment —
+    /// only the accumulated `timings` totals survive a crash.
+    pub fn resume(
+        sink: Box<dyn TraceSink>,
+        next_seq: u64,
+        ledger: SampleLedger,
+        timings: StageTimings,
+    ) -> Self {
+        let mut t = Self::new(sink);
+        t.seq = next_seq;
+        t.ledger = ledger;
+        t.timings = timings;
+        t
     }
 
     /// Disables span timing: `t_us`/`elapsed_us` are omitted from every
@@ -358,6 +396,15 @@ impl Tracer {
     /// Number of currently open spans.
     pub fn open_spans(&self) -> usize {
         self.stack.len()
+    }
+
+    /// The sequence number the *next* emitted event will carry. A
+    /// checkpoint stores this before emitting its `checkpoint_save`
+    /// counter; the resumed tracer starts at the same value, so the
+    /// resume segment's `checkpoint_load` counter reuses the saved
+    /// event's slot and stitched traces renumber seamlessly.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Emits the ledger summary (one [`TraceEvent::LedgerEntry`] per
@@ -699,6 +746,44 @@ mod tests {
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(text.contains("\"ev\":\"enter\""));
         assert!(!text.contains("ledger_total"));
+    }
+
+    #[test]
+    fn resume_continues_seq_ledger_and_timings() {
+        // Uninterrupted reference run.
+        let full_buf = SharedBuffer::new();
+        let mut t = Tracer::new(Box::new(JsonlSink::new(full_buf.clone()))).without_timing();
+        t.enter(Stage::ApproxPart);
+        t.charge(10);
+        t.exit();
+        t.enter(Stage::Sieve);
+        t.charge(5);
+        t.exit();
+        let full_ledger = t.finish();
+
+        // The same run split at the stage boundary: segment 1 dies after
+        // ApproxPart; segment 2 resumes with the preloaded state.
+        let seg1 = SharedBuffer::new();
+        let mut t1 = Tracer::new(Box::new(JsonlSink::new(seg1.clone()))).without_timing();
+        t1.enter(Stage::ApproxPart);
+        t1.charge(10);
+        t1.exit();
+        let next_seq = t1.seq();
+        let ledger = t1.ledger().clone();
+        let timings = t1.timings().clone();
+        drop(t1); // crash: no footer
+
+        let seg2 = SharedBuffer::new();
+        let mut t2 = Tracer::resume(Box::new(JsonlSink::new(seg2.clone())), next_seq, ledger, timings)
+            .without_timing();
+        t2.enter(Stage::Sieve);
+        t2.charge(5);
+        t2.exit();
+        let resumed_ledger = t2.finish();
+
+        assert_eq!(resumed_ledger, full_ledger);
+        let stitched = [seg1.contents(), seg2.contents()].concat();
+        assert_eq!(stitched, full_buf.contents());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Validates every results/*.json artifact parses and has the report shape,
-and that the full experiment set (T1-T14, A1-A2, F1-F3) is present."""
+and that the full experiment set (T1-T15, A1-A2, F1-F3) is present."""
 import json, glob, sys
 
-REQUIRED = {f"T{i}" for i in range(1, 15)} | {"A1", "A2", "F1", "F2", "F3"}
+REQUIRED = {f"T{i}" for i in range(1, 16)} | {"A1", "A2", "F1", "F2", "F3"}
 
 ok = True
 seen = set()

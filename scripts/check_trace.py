@@ -24,12 +24,73 @@ Checks, per trace file:
      non-negative integers and travel as a pair.
 
 Usage: scripts/check_trace.py trace.jsonl [more.jsonl ...]
+       scripts/check_trace.py --stitch seg1.jsonl seg2.jsonl [...]
+
+With --stitch the files are treated as the ordered segments of one
+crashed-and-resumed `--checkpoint` run: each later segment must open with
+a `checkpoint_load` counter, its predecessor is cut just after the
+matching `checkpoint_save` (dropping the crash tail), the load line is
+dropped (the kept save occupies its seq slot), and the splice is audited
+as a single stream. Wall-clock origins restart per segment, so `t_us`
+monotonicity is reset at every seam; all other invariants (seq
+numbering, span nesting, the ledger reconciliation) must hold across it.
+
 Exits non-zero on the first malformed file (after printing all findings).
 """
 import json
 import sys
 
 KINDS = {"enter", "exit", "counter", "ledger", "ledger_total"}
+
+
+def counter_value(line, name):
+    """The value of a `counter` event line named `name`, else None."""
+    try:
+        ev = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if ev.get("ev") == "counter" and ev.get("name") == name:
+        return ev.get("value")
+    return None
+
+
+def stitch(paths):
+    """Splices ordered resumed-run segments; returns (lines, seam_line_indices).
+
+    Raises SystemExit with a message on a segment that does not start
+    with a checkpoint_load or whose load id has no matching save.
+    """
+    lines, seams = [], set()
+    for i, path in enumerate(paths):
+        with open(path) as f:
+            seg = [l.rstrip("\n") for l in f if l.strip()]
+        if i > 0:
+            if not seg:
+                sys.exit(f"BAD {path}: resumed segment is empty")
+            load_id = counter_value(seg[0], "checkpoint_load")
+            if load_id is None:
+                sys.exit(
+                    f"BAD {path}: resumed segment must start with a "
+                    f"checkpoint_load counter, found: {seg[0]}"
+                )
+            seam = next(
+                (
+                    j
+                    for j in range(len(lines) - 1, -1, -1)
+                    if counter_value(lines[j], "checkpoint_save") == load_id
+                ),
+                None,
+            )
+            if seam is None:
+                sys.exit(
+                    f"BAD {path}: no checkpoint_save id={load_id} seam in the "
+                    f"preceding segment(s)"
+                )
+            del lines[seam + 1 :]
+            seg = seg[1:]
+            seams.add(len(lines))
+        lines.extend(seg)
+    return lines, seams
 
 
 FAULT_KINDS = [
@@ -42,7 +103,8 @@ FAULT_KINDS = [
 FAULT_FAMILY = FAULT_KINDS + ["fault_events_total", "fault_returned_draws"]
 
 
-def check(path):
+def check(path, lines=None, seams=()):
+    """Audits one stream; `lines`/`seams` come from stitch() in --stitch mode."""
     errors = []
     stack = []  # (stage name, enter t_us or None) of open spans
     exit_samples = {}  # stage -> summed exclusive exit samples
@@ -53,72 +115,76 @@ def check(path):
     last_t = None  # last t_us seen (monotonicity)
     timed_spans = 0
     events = 0
-    with open(path) as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
+    if lines is None:
+        with open(path) as f:
+            lines = f.readlines()
+    for lineno, line in enumerate(lines, 1):
+        if lineno - 1 in seams:
+            last_t = None  # each segment's wall clock restarts at zero
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not JSON ({e})")
+            continue
+        kind = ev.get("ev")
+        if kind not in KINDS:
+            errors.append(f"line {lineno}: unknown ev {kind!r}")
+            continue
+        events += 1
+        if "seq" in ev:
+            if ev["seq"] <= last_seq:
+                errors.append(f"line {lineno}: seq {ev['seq']} not increasing")
+            last_seq = ev["seq"]
+        t = ev.get("t_us")
+        if t is not None:
+            if not isinstance(t, int) or t < 0:
+                errors.append(f"line {lineno}: t_us {t!r} is not a non-negative int")
+            elif last_t is not None and t < last_t:
+                errors.append(f"line {lineno}: t_us went backwards ({t} < {last_t})")
+            else:
+                last_t = t
+        for a in ("alloc_count", "alloc_bytes"):
+            v = ev.get(a)
+            if v is not None and (not isinstance(v, int) or v < 0):
+                errors.append(f"line {lineno}: {a} {v!r} is not a non-negative int")
+        if ("alloc_count" in ev) != ("alloc_bytes" in ev):
+            errors.append(f"line {lineno}: alloc_count/alloc_bytes must travel as a pair")
+        if kind == "enter":
+            if ev["depth"] != len(stack):
+                errors.append(f"line {lineno}: enter depth {ev['depth']} != stack {len(stack)}")
+            stack.append((ev["stage"], t))
+        elif kind == "exit":
+            if not stack:
+                errors.append(f"line {lineno}: exit with no open span")
                 continue
-            try:
-                ev = json.loads(line)
-            except json.JSONDecodeError as e:
-                errors.append(f"line {lineno}: not JSON ({e})")
-                continue
-            kind = ev.get("ev")
-            if kind not in KINDS:
-                errors.append(f"line {lineno}: unknown ev {kind!r}")
-                continue
-            events += 1
-            if "seq" in ev:
-                if ev["seq"] <= last_seq:
-                    errors.append(f"line {lineno}: seq {ev['seq']} not increasing")
-                last_seq = ev["seq"]
-            t = ev.get("t_us")
-            if t is not None:
-                if not isinstance(t, int) or t < 0:
-                    errors.append(f"line {lineno}: t_us {t!r} is not a non-negative int")
-                elif last_t is not None and t < last_t:
-                    errors.append(f"line {lineno}: t_us went backwards ({t} < {last_t})")
-                else:
-                    last_t = t
-            for a in ("alloc_count", "alloc_bytes"):
-                v = ev.get(a)
-                if v is not None and (not isinstance(v, int) or v < 0):
-                    errors.append(f"line {lineno}: {a} {v!r} is not a non-negative int")
-            if ("alloc_count" in ev) != ("alloc_bytes" in ev):
-                errors.append(f"line {lineno}: alloc_count/alloc_bytes must travel as a pair")
-            if kind == "enter":
-                if ev["depth"] != len(stack):
-                    errors.append(f"line {lineno}: enter depth {ev['depth']} != stack {len(stack)}")
-                stack.append((ev["stage"], t))
-            elif kind == "exit":
-                if not stack:
-                    errors.append(f"line {lineno}: exit with no open span")
-                    continue
-                opened, enter_t = stack.pop()
-                if ev["stage"] != opened:
-                    errors.append(f"line {lineno}: exit {ev['stage']!r} closes {opened!r}")
-                if ev["depth"] != len(stack):
-                    errors.append(f"line {lineno}: exit depth {ev['depth']} != stack {len(stack)}")
-                exit_samples[ev["stage"]] = exit_samples.get(ev["stage"], 0) + ev["samples"]
-                elapsed = ev.get("elapsed_us")
-                if (elapsed is None) != (enter_t is None) or (t is None) != (enter_t is None):
+            opened, enter_t = stack.pop()
+            if ev["stage"] != opened:
+                errors.append(f"line {lineno}: exit {ev['stage']!r} closes {opened!r}")
+            if ev["depth"] != len(stack):
+                errors.append(f"line {lineno}: exit depth {ev['depth']} != stack {len(stack)}")
+            exit_samples[ev["stage"]] = exit_samples.get(ev["stage"], 0) + ev["samples"]
+            elapsed = ev.get("elapsed_us")
+            if (elapsed is None) != (enter_t is None) or (t is None) != (enter_t is None):
+                errors.append(
+                    f"line {lineno}: timing must be all-or-nothing per span "
+                    f"(enter t_us {enter_t!r}, exit t_us {t!r}, elapsed_us {elapsed!r})"
+                )
+            elif elapsed is not None:
+                timed_spans += 1
+                if t - enter_t != elapsed:
                     errors.append(
-                        f"line {lineno}: timing must be all-or-nothing per span "
-                        f"(enter t_us {enter_t!r}, exit t_us {t!r}, elapsed_us {elapsed!r})"
+                        f"line {lineno}: elapsed_us {elapsed} != t_us delta "
+                        f"{t} - {enter_t} = {t - enter_t}"
                     )
-                elif elapsed is not None:
-                    timed_spans += 1
-                    if t - enter_t != elapsed:
-                        errors.append(
-                            f"line {lineno}: elapsed_us {elapsed} != t_us delta "
-                            f"{t} - {enter_t} = {t - enter_t}"
-                        )
-            elif kind == "counter":
-                counters[ev["name"]] = ev["value"]
-            elif kind == "ledger":
-                ledger_rows[ev["stage"]] = ev["samples"]
-            elif kind == "ledger_total":
-                ledger_total = (ev["samples"], ev["unattributed"])
+        elif kind == "counter":
+            counters[ev["name"]] = ev["value"]
+        elif kind == "ledger":
+            ledger_rows[ev["stage"]] = ev["samples"]
+        elif kind == "ledger_total":
+            ledger_total = (ev["samples"], ev["unattributed"])
     if stack:
         errors.append(f"{len(stack)} span(s) never exited: {[s for s, _ in stack]}")
     if ledger_total is None:
@@ -177,6 +243,13 @@ def check(path):
 
 
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
+    argv = sys.argv[1:]
+    if argv[:1] == ["--stitch"]:
+        if len(argv) < 3:
+            sys.exit("--stitch needs at least two segment files")
+        lines, seams = stitch(argv[1:])
+        label = " + ".join(argv[1:]) + " (stitched)"
+        sys.exit(0 if check(label, lines=lines, seams=seams) else 1)
+    if not argv:
         sys.exit(__doc__)
-    sys.exit(0 if all([check(p) for p in sys.argv[1:]]) else 1)
+    sys.exit(0 if all([check(p) for p in argv]) else 1)

@@ -10,7 +10,7 @@ bins=(
   exp_lb_paninski exp_lb_cover exp_lb_reduction exp_learner exp_approx_part
   exp_z_statistic exp_sieve exp_dp_check exp_dp_scaling exp_model_selection
   exp_kmodal exp_ablation exp_fixed_partition exp_paper_constants
-  exp_stage_budget exp_fault_tolerance
+  exp_stage_budget exp_fault_tolerance exp_crash_recovery
 )
 for b in "${bins[@]}"; do
   echo "=== $b ===" | tee -a "$out"

@@ -21,9 +21,18 @@
 //! runtime, which reports `INCONCLUSIVE` (exit code 5) instead of guessing
 //! when the run cannot finish honestly.
 //!
-//! Exit codes: `0` ok · `1` internal error · `2` usage error · `3` bad
-//! input data · `4` samples exhausted (dataset or budget) · `5`
-//! inconclusive.
+//! Recovery flags (same doc, "Crash recovery & deadlines"): `--checkpoint
+//! PATH` snapshots the full resumable run state atomically at every
+//! pipeline boundary, `--resume` continues a crashed run from that file
+//! (bit-identical to the uninterrupted run), and `--deadline-ms` /
+//! `--stage-deadline-ms` bound the run (or any one stage) by wall clock,
+//! exiting `6` with a typed `INCONCLUSIVE` instead of hanging. Resumed
+//! trace segments stitch back together with `fewbins report --stitch`.
+//!
+//! Exit codes: `0` ok · `1` internal error (including a `crash=` fault
+//! firing) · `2` usage error · `3` bad input data (including an
+//! unreadable, corrupt, or mismatched checkpoint) · `4` samples exhausted
+//! (dataset or budget) · `5` inconclusive · `6` deadline exceeded.
 //!
 //! Examples:
 //!
@@ -39,11 +48,15 @@
 
 use few_bins::core::empirical::SampleCounts;
 use few_bins::prelude::*;
-use few_bins::report::{analyze_files, TheoryParams};
+use few_bins::report::{analyze_files, stitch_files, TheoryParams, TraceReport};
+use few_bins::sampling::SharedRng;
 use few_bins::stats::Poisson;
+use few_bins::testers::histogram_tester::PipelinePoint;
+use few_bins::testers::robust::RunProgress;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::io::Read;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// A CLI failure with its exit code: `2` usage, `3` input data, `4`
@@ -73,10 +86,24 @@ impl From<HistoError> for CliError {
     fn from(e: HistoError) -> Self {
         let code = match &e {
             HistoError::OracleExhausted { .. } => 4,
+            HistoError::DeadlineExceeded { .. } => 6,
+            HistoError::InjectedCrash { .. } => 1,
             _ => 3,
         };
         Self {
             code,
+            msg: e.to_string(),
+        }
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    // A checkpoint that cannot be loaded — unreadable, corrupt,
+    // truncated, version-skewed, or from a different run — is bad input,
+    // never a panic and never a silent restart from scratch.
+    fn from(e: CheckpointError) -> Self {
+        Self {
+            code: 3,
             msg: e.to_string(),
         }
     }
@@ -113,6 +140,15 @@ impl ReplayOracle {
             pos: 0,
             resample,
         }
+    }
+
+    /// Repositions the oracle at a checkpointed draw count. The shuffle
+    /// is a pure function of `--seed`, so after reconstructing with the
+    /// same seed the first `drawn` no-resample draws are the ones the
+    /// crashed run already consumed.
+    fn restore(&mut self, drawn: u64) {
+        self.drawn = drawn;
+        self.pos = (drawn as usize).min(self.samples.len());
     }
 }
 
@@ -186,6 +222,14 @@ fn estimate_budget(config: &TesterConfig, n: usize, k: usize, eps: f64) -> u64 {
     let rounds = (k as f64).log2().ceil().max(1.0) + 1.0 + config.sieve.extra_rounds as f64;
     let m_test = config.test_samples(n, config.final_eps_factor * eps);
     ap + learner + (rounds * m_sieve) as u64 + m_test as u64
+}
+
+/// `FEWBINS_TRACE_NO_TIMING=1` drops `t_us`/`elapsed_us` from every
+/// trace event, making the stream a pure function of the algorithm —
+/// the crash-recovery CI loop byte-compares stitched resumed traces
+/// against uninterrupted ones this way.
+fn trace_timing_disabled() -> bool {
+    std::env::var("FEWBINS_TRACE_NO_TIMING").map_or(false, |v| v == "1")
 }
 
 /// Prints the fault-injection summary to stderr (stdout stays
@@ -284,7 +328,11 @@ fn with_stack<T>(
         Some(reg) => Box::new(MetricsSink::new(reg.clone(), base)),
         None => base,
     };
-    let scoped = ScopedOracle::new(oracle, sink);
+    let mut tracer = Tracer::new(sink);
+    if trace_timing_disabled() {
+        tracer = tracer.without_timing();
+    }
+    let scoped = ScopedOracle::with_tracer(oracle, tracer);
     let (result, ledger, timings) = match plan {
         None => {
             let mut scoped = scoped;
@@ -328,6 +376,12 @@ struct Args {
     faults: Option<String>,
     max_samples: Option<u64>,
     retries: usize,
+    checkpoint: Option<String>,
+    resume: bool,
+    deadline_ms: Option<u64>,
+    stage_deadline_ms: Option<u64>,
+    stitch: bool,
+    stitch_out: Option<String>,
     file: Option<String>,
     files: Vec<String>,
 }
@@ -393,6 +447,24 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     return Err("--retries must be at least 1".into());
                 }
             }
+            "--checkpoint" => args.checkpoint = Some(take("--checkpoint")?),
+            "--resume" => args.resume = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--stage-deadline-ms" => {
+                args.stage_deadline_ms = Some(
+                    take("--stage-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--stage-deadline-ms: {e}"))?,
+                )
+            }
+            "--stitch" => args.stitch = true,
+            "--stitch-out" => args.stitch_out = Some(take("--stitch-out")?),
             other if !other.starts_with("--") => {
                 if args.file.is_none() {
                     args.file = Some(other.to_string());
@@ -401,6 +473,12 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+    if args.stitch_out.is_some() && !args.stitch {
+        return Err("--stitch-out requires --stitch".into());
     }
     Ok((cmd, args))
 }
@@ -452,6 +530,226 @@ fn fold_budget(plan: Option<FaultPlan>, max_samples: Option<u64>) -> Option<Faul
     }
 }
 
+/// The run-parameter fingerprint stored in every checkpoint. A resume
+/// refuses (exit 3) unless the invocation reproduces it exactly. The
+/// fault spec is fingerprinted with `crash=` stripped: the resumed run
+/// drops the crash trigger but must otherwise match the crashed one.
+fn run_fingerprint(args: &Args, n: usize, k: usize, eps: f64, plan: &Option<FaultPlan>) -> String {
+    format!(
+        "test|n={n}|k={k}|eps={eps}|seed={}|scale={}|resample={}|retries={}|budget={}|faults={}",
+        args.seed,
+        args.scale,
+        !args.no_resample,
+        args.retries,
+        args.max_samples
+            .map_or_else(|| "none".to_string(), |b| b.to_string()),
+        plan.as_ref()
+            .map_or_else(|| "none".to_string(), |p| p.clone().without_crash().to_string()),
+    )
+}
+
+/// `test` under the full recovery stack: `--checkpoint`/`--resume` crash
+/// recovery and `--deadline-ms`/`--stage-deadline-ms` supervision.
+///
+/// The oracle stack, bottom to top: [`ReplayOracle`] (the dataset) →
+/// [`ScopedOracle`] (tracer: spans, ledger, seq numbers) →
+/// [`FaultyOracle`] (injected faults, crash trigger) → `DeadlineOracle`
+/// (applied inside [`SupervisedRunner`]). Sampling randomness comes from
+/// a portable, serializable [`SharedRng`] stream so a checkpoint can
+/// capture and restore it exactly; the dataset shuffle keeps using the
+/// seed-derived [`StdRng`], which is reproduced from `--seed` on resume.
+///
+/// At every pipeline boundary the checkpoint hook snapshots RNG state,
+/// runner progress, fault-layer state, and the trace continuation point,
+/// writes the file atomically, and emits a `checkpoint_save` counter
+/// into the trace. A resume reloads all of that, emits `checkpoint_load`
+/// in the save's sequence slot, and re-enters the runner mid-round —
+/// `fewbins report --stitch` splices the two trace segments back into
+/// the uninterrupted run's byte stream.
+fn run_supervised(
+    args: &Args,
+    samples: Vec<usize>,
+    n: usize,
+    k: usize,
+    eps: f64,
+    plan: Option<FaultPlan>,
+    shuffle_rng: &mut StdRng,
+) -> Result<(), CliError> {
+    let config = TesterConfig::practical().scaled(args.scale);
+    let fingerprint = run_fingerprint(args, n, k, eps, &plan);
+    let loaded = match (&args.checkpoint, args.resume) {
+        (Some(path), true) => {
+            let cp = Checkpoint::load(Path::new(path))?;
+            cp.verify_fingerprint(&fingerprint)?;
+            eprintln!(
+                "fewbins: resuming from {path} (checkpoint id {}, round {}, {} draws replayed)",
+                cp.id, cp.progress.next_round, cp.replay_drawn
+            );
+            Some(cp)
+        }
+        _ => None,
+    };
+    // The resumed run must not re-fire the crash trigger; everything else
+    // in the fault schedule continues from the restored fault state.
+    let run_plan = match (&plan, args.resume) {
+        (Some(p), true) => Some(p.clone().without_crash()),
+        (p, _) => p.clone(),
+    };
+
+    let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, shuffle_rng);
+    if let Some(cp) = &loaded {
+        oracle.restore(cp.replay_drawn);
+    }
+    let rng = match &loaded {
+        Some(cp) => SharedRng::from_state(cp.rng),
+        None => SharedRng::seed_from(args.seed),
+    };
+
+    let base: Box<dyn TraceSink> = match &args.trace {
+        Some(path) => Box::new(
+            JsonlSink::create(path).map_err(|e| CliError::input(format!("creating {path}: {e}")))?,
+        ),
+        None => Box::new(NullSink),
+    };
+    let registry = args.metrics.as_ref().map(|_| SharedRegistry::new());
+    let sink: Box<dyn TraceSink> = match &registry {
+        Some(reg) => Box::new(MetricsSink::new(reg.clone(), base)),
+        None => base,
+    };
+    let mut tracer = match &loaded {
+        Some(cp) => Tracer::resume(sink, cp.resume_seq, cp.ledger.clone(), cp.timings.clone()),
+        None => Tracer::new(sink),
+    };
+    if trace_timing_disabled() {
+        tracer = tracer.without_timing();
+    }
+    let scoped = ScopedOracle::with_tracer(&mut oracle, tracer);
+    let mut faulty = FaultyOracle::new(scoped, run_plan.clone().unwrap_or_else(FaultPlan::none));
+    if let Some(cp) = &loaded {
+        faulty.restore_recovery_state(cp.fault.clone());
+        // First event of the resumed segment: reuses the sequence slot of
+        // the matching checkpoint_save, so stitched traces renumber
+        // seamlessly.
+        faulty.trace_counter("checkpoint_load", cp.id.into());
+    }
+
+    let mut runner = RobustRunner::new(HistogramTester::new(config)).with_retries(args.retries);
+    if let Some(budget) = args.max_samples {
+        runner = runner.with_budget(budget);
+    }
+    let mut supervised = SupervisedRunner::new(runner);
+    if let Some(ms) = args.deadline_ms {
+        supervised = supervised.with_run_deadline_us(ms.saturating_mul(1_000));
+    }
+    if let Some(ms) = args.stage_deadline_ms {
+        supervised = supervised.with_stage_deadline_us(ms.saturating_mul(1_000));
+    }
+
+    let mut next_id = loaded.as_ref().map_or(0, |cp| cp.id + 1);
+    let resume_state = loaded.as_ref().map(|cp| cp.resume_state());
+    let ckpt_path = args.checkpoint.clone();
+    let rng_probe = rng.clone();
+    let mut run_rng = rng.clone();
+    let result = supervised.run_with_hooks(
+        faulty,
+        k,
+        eps,
+        &mut run_rng,
+        resume_state,
+        &mut |progress: &RunProgress, point: &PipelinePoint, o| {
+            let Some(path) = &ckpt_path else {
+                return Ok(()); // deadline-only supervision: nothing to save
+            };
+            // Snapshot BEFORE emitting the save counter: the stored
+            // resume_seq is the slot the counter is about to consume,
+            // which checkpoint_load reuses on resume.
+            let fault = o.inner_mut().recovery_state();
+            let replay_drawn = o.inner_mut().inner().samples_drawn();
+            let (resume_seq, ledger, timings) = {
+                let t = o.tracer().expect("supervised runs always attach a tracer");
+                (t.seq(), t.ledger().clone(), t.timings().clone())
+            };
+            let cp = Checkpoint {
+                id: next_id,
+                fingerprint: fingerprint.clone(),
+                rng: rng_probe.state(),
+                replay_drawn,
+                resume_seq,
+                progress: progress.clone(),
+                point: point.clone(),
+                fault,
+                ledger,
+                timings,
+            };
+            o.trace_counter("checkpoint_save", next_id.into());
+            cp.save_atomic(Path::new(path))?;
+            next_id += 1;
+            Ok(())
+        },
+    );
+    let (outcome, mut faulty) = match result {
+        Ok(pair) => pair,
+        Err(HistoError::InjectedCrash { after_draws }) => {
+            // The oracle stack was consumed by the run; dropping it
+            // flushed the trace segment (whole lines, no footer). The
+            // checkpoint on disk is the resume point.
+            let hint = match &args.checkpoint {
+                Some(path) => format!("; rerun with --resume to continue from {path}"),
+                None => "; rerun with --checkpoint to make crashes recoverable".to_string(),
+            };
+            return Err(CliError {
+                code: 1,
+                msg: format!("simulated crash after {after_draws} draws{hint}"),
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    if run_plan.is_some() {
+        faulty.emit_counters();
+        report_faults(faulty.counters());
+    }
+    let (ledger, timings) = faulty.into_inner().finish_with_timings();
+    if let Some(path) = &args.trace {
+        report_ledger(path, &ledger, &timings);
+    }
+    if let (Some(path), Some(reg)) = (&args.metrics, registry) {
+        finalize_metrics(&reg, &timings);
+        std::fs::write(path, reg.render())
+            .map_err(|e| CliError::input(format!("writing {path}: {e}")))?;
+        eprintln!("fewbins: metrics written to {path}");
+    }
+
+    match outcome {
+        Outcome::Conclusive(decision) => {
+            println!(
+                "{} (H_{k} at eps = {eps}; {} draws over [0..{n}); {} rounds)",
+                if decision.accepted() {
+                    "ACCEPT"
+                } else {
+                    "REJECT"
+                },
+                oracle.samples_drawn(),
+                args.retries
+            );
+            Ok(())
+        }
+        Outcome::Inconclusive { reason, stage, .. } => {
+            let place = stage.map(|s| format!(" in stage {s}")).unwrap_or_default();
+            println!("INCONCLUSIVE{place}: {reason}");
+            let code = if matches!(reason, InconclusiveReason::DeadlineExceeded { .. }) {
+                6
+            } else {
+                5
+            };
+            Err(CliError {
+                code,
+                msg: format!("inconclusive{place}: {reason}"),
+            })
+        }
+    }
+}
+
 fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
@@ -459,18 +757,29 @@ fn run() -> Result<(), CliError> {
             "usage: fewbins <test|select-k|certify|sketch|report> [--n N] [--k K] [--eps E]\n\
              \x20      [--seed S] [--max-k M] [--scale F] [--no-resample]\n\
              \x20      [--trace out.jsonl] [--metrics out.prom] [--faults SPEC]\n\
-             \x20      [--max-samples B] [--retries R] [--json] [file|-]\n\
+             \x20      [--max-samples B] [--retries R] [--checkpoint ckpt] [--resume]\n\
+             \x20      [--deadline-ms T] [--stage-deadline-ms T] [--json] [file|-]\n\
              \n\
              fault spec: comma-separated key=value pairs (or `none`), e.g.\n\
-             \x20      eta=0.1,adv=point:0,budget=50000,dup=0.01,drop=0.02,stall=5x100,seed=9\n\
+             \x20      eta=0.1,adv=point:0,budget=50000,dup=0.01,drop=0.02,stall=5x100,\n\
+             \x20      crash=2000,seed=9\n\
+             \n\
+             recovery: --checkpoint snapshots resumable state at every pipeline\n\
+             \x20      boundary; --resume continues a crashed run bit-identically;\n\
+             \x20      --deadline-ms/--stage-deadline-ms bound the run by wall clock\n\
              \n\
              report: aggregates one or more --trace outputs into a per-stage\n\
              \x20      table (samples, wall time, allocations); give --n/--k\n\
              \x20      [--eps] to add Theorem 1.1 theory-term columns; --json\n\
-             \x20      switches the output format\n\
+             \x20      switches the output format; --stitch treats the files as\n\
+             \x20      ordered segments of one crashed-and-resumed run and splices\n\
+             \x20      them at their checkpoint seams (--stitch-out saves the\n\
+             \x20      spliced stream)\n\
              \n\
-             exit codes: 0 ok; 1 internal error; 2 usage; 3 bad input data;\n\
-             \x20      4 samples exhausted (dataset or budget); 5 inconclusive"
+             exit codes: 0 ok; 1 internal error (incl. crash= faults); 2 usage;\n\
+             \x20      3 bad input data (incl. bad checkpoints); 4 samples\n\
+             \x20      exhausted (dataset or budget); 5 inconclusive;\n\
+             \x20      6 deadline exceeded"
         );
         return Ok(());
     }
@@ -485,6 +794,19 @@ fn run() -> Result<(), CliError> {
 
     if args.retries > 1 && cmd != "test" {
         eprintln!("fewbins: warning: --retries only applies to `test`; ignored");
+    }
+    let supervised = args.checkpoint.is_some()
+        || args.resume
+        || args.deadline_ms.is_some()
+        || args.stage_deadline_ms.is_some();
+    if supervised && cmd != "test" {
+        eprintln!(
+            "fewbins: warning: --checkpoint/--resume/--deadline-ms/--stage-deadline-ms \
+             only apply to `test`; ignored"
+        );
+    }
+    if args.stitch && cmd != "report" {
+        eprintln!("fewbins: warning: --stitch only applies to `report`; ignored");
     }
 
     match cmd.as_str() {
@@ -506,6 +828,9 @@ fn run() -> Result<(), CliError> {
                          instead — prefer more data or a lower --scale"
                     }
                 );
+            }
+            if supervised {
+                return run_supervised(&args, samples, n, k, eps, plan, &mut rng);
             }
             let mut oracle = ReplayOracle::new(samples, n, !args.no_resample, &mut rng);
             let tester = HistogramTester::new(config);
@@ -633,7 +958,21 @@ fn run() -> Result<(), CliError> {
                 }),
                 _ => None,
             };
-            let report = analyze_files(&args.files).map_err(CliError::input)?;
+            let report = if args.stitch {
+                let stitched = stitch_files(&args.files).map_err(CliError::input)?;
+                if let Some(out) = &args.stitch_out {
+                    std::fs::write(out, &stitched)
+                        .map_err(|e| CliError::input(format!("writing {out}: {e}")))?;
+                    eprintln!("fewbins: stitched trace written to {out}");
+                }
+                let mut report = TraceReport::new();
+                report
+                    .add_stream("(stitched)", &stitched)
+                    .map_err(CliError::input)?;
+                report
+            } else {
+                analyze_files(&args.files).map_err(CliError::input)?
+            };
             if args.json {
                 println!("{}", report.to_json(theory.as_ref()));
             } else {
@@ -764,6 +1103,69 @@ mod tests {
         assert_eq!(args.retries, 3);
         assert!(parse_args(&strs(&["test", "--retries", "0", "d.txt"])).is_err());
         assert!(parse_args(&strs(&["test", "--max-samples", "x", "d.txt"])).is_err());
+    }
+
+    #[test]
+    fn parses_recovery_flags() {
+        let (_, args) = parse_args(&strs(&[
+            "test",
+            "--k",
+            "2",
+            "--checkpoint",
+            "run.ckpt",
+            "--resume",
+            "--deadline-ms",
+            "5000",
+            "--stage-deadline-ms",
+            "800",
+            "d.txt",
+        ]))
+        .unwrap();
+        assert_eq!(args.checkpoint.as_deref(), Some("run.ckpt"));
+        assert!(args.resume);
+        assert_eq!(args.deadline_ms, Some(5000));
+        assert_eq!(args.stage_deadline_ms, Some(800));
+        // --resume is meaningless without a checkpoint file to read.
+        assert!(parse_args(&strs(&["test", "--k", "2", "--resume", "d.txt"])).is_err());
+        assert!(parse_args(&strs(&["test", "--deadline-ms", "x", "d.txt"])).is_err());
+        assert!(parse_args(&strs(&["test", "--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn parses_stitch_flags() {
+        let (_, args) =
+            parse_args(&strs(&["report", "--stitch", "a.jsonl", "b.jsonl"])).unwrap();
+        assert!(args.stitch);
+        assert!(args.stitch_out.is_none());
+        let (_, args) = parse_args(&strs(&[
+            "report",
+            "--stitch",
+            "--stitch-out",
+            "full.jsonl",
+            "a.jsonl",
+            "b.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(args.stitch_out.as_deref(), Some("full.jsonl"));
+        // --stitch-out without --stitch has nothing to write.
+        assert!(parse_args(&strs(&["report", "--stitch-out", "x", "a.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn fingerprint_strips_the_crash_trigger() {
+        let args = Args {
+            seed: 7,
+            scale: 1.0,
+            retries: 3,
+            ..Default::default()
+        };
+        let with_crash = FaultPlan::parse("eta=0.1,crash=500,seed=9").unwrap();
+        let without = FaultPlan::parse("eta=0.1,seed=9").unwrap();
+        let a = run_fingerprint(&args, 300, 2, 0.4, &Some(with_crash));
+        let b = run_fingerprint(&args, 300, 2, 0.4, &Some(without));
+        assert_eq!(a, b, "crash= must not change the resume identity");
+        let c = run_fingerprint(&args, 300, 3, 0.4, &None);
+        assert_ne!(a, c);
     }
 
     #[test]

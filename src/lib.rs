@@ -51,6 +51,7 @@
 //! | [`sampling`] | alias sampler, counting oracles, workload generators |
 //! | [`faults`] | deterministic fault injection: Huber contamination, budget caps, stalls, duplicated/dropped draws |
 //! | [`testers`] | Algorithm 1 and all subroutines; baselines; model selection; the resilient runtime |
+//! | [`recovery`] | checkpoint/resume crash recovery and deadline-supervised runs |
 //! | [`lowerbounds`] | the `Q_ε` family, `SuppSize`, the §4.2 reduction |
 //! | [`experiments`] | acceptance estimation, budget search, reports |
 //! | [`report`] | the `fewbins report` trace analyzer: per-stage samples, wall time, allocations vs theory |
@@ -65,6 +66,8 @@ pub use histo_faults as faults;
 pub use histo_lowerbounds as lowerbounds;
 /// Re-export of `histo-metrics`.
 pub use histo_metrics as metrics;
+/// Re-export of `histo-recovery`.
+pub use histo_recovery as recovery;
 /// Re-export of `histo-sampling`.
 pub use histo_sampling as sampling;
 /// Re-export of `histo-stats`.
@@ -92,6 +95,7 @@ pub mod prelude {
     pub use histo_testers::config::TesterConfig;
     pub use histo_testers::histogram_tester::{Ablation, HistogramTester, StageError};
     pub use histo_testers::model_selection::doubling_search;
+    pub use histo_recovery::{Checkpoint, CheckpointError, DeadlineOracle, SupervisedRunner};
     pub use histo_testers::robust::{InconclusiveReason, Outcome, RobustRunner};
     pub use histo_testers::{Decision, Tester};
     pub use histo_metrics::{MetricsRegistry, MetricsSink, SharedRegistry};

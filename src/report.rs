@@ -20,7 +20,19 @@
 //! first-seen order). Malformed streams — unbalanced spans, a missing
 //! `ledger_total` footer (e.g. a truncated stream from a dropped tracer),
 //! or ledger rows that disagree with the span sums — are reported as
-//! errors rather than silently producing wrong totals.
+//! errors rather than silently producing wrong totals. A truncated
+//! stream whose last event family includes a `checkpoint_save` counter
+//! is diagnosed as *resumable* (a crashed `--checkpoint` run) rather
+//! than corrupt: stitch it with its resumed segment.
+//!
+//! **Stitching** ([`stitch_streams`] / `fewbins report --stitch`):
+//! a crashed `--checkpoint` run leaves a trace segment that ends somewhere
+//! after its last `checkpoint_save` counter; the `--resume` run opens a
+//! new segment whose first event is a matching `checkpoint_load`. Splicing
+//! segment 1 (cut just after the save) onto segment 2 (minus the load)
+//! reproduces the uninterrupted run's stream byte-for-byte — the tracer
+//! reserves the save's sequence slot for the load, so even the `seq`
+//! numbering is seamless.
 
 use histo_experiments::theory;
 use histo_experiments::Table;
@@ -293,6 +305,9 @@ impl TraceReport {
         let mut stack: Vec<Frame> = Vec::new();
         let mut saw_total = false;
         let mut last_t: Option<u64> = None;
+        // The last checkpoint_save id seen: a truncated stream carrying
+        // one is a crashed-but-resumable run, not a corrupt file.
+        let mut last_save: Option<u64> = None;
         // Per-file ledger rows, checked against this file's span sums.
         let mut file_ledger: Vec<(String, u64)> = Vec::new();
         let mut file_span_samples: Vec<(String, u64)> = Vec::new();
@@ -399,20 +414,34 @@ impl TraceReport {
                     self.unattributed += unattributed;
                     saw_total = true;
                 }
-                "counter" => {}
+                "counter" => {
+                    if field(&pairs, "name").and_then(Scalar::as_str) == Some("checkpoint_save") {
+                        last_save = field(&pairs, "value").and_then(Scalar::as_u64);
+                    }
+                }
                 other => return Err(at(format!("unknown event '{other}'"))),
             }
         }
+        let truncation_hint = match last_save {
+            Some(id) => format!(
+                "truncated at a checkpoint boundary — resumable: the run saved \
+                 checkpoint id {id}; stitch this segment with its resumed one \
+                 via `fewbins report --stitch`"
+            ),
+            None => "truncated trace? no checkpoint_save seen — the stream is \
+                     corrupt, not a crashed checkpointed run"
+                .to_string(),
+        };
         if !stack.is_empty() {
             let open: Vec<&str> = stack.iter().map(|f| f.stage.as_str()).collect();
             return Err(format!(
-                "{source}: stream ended with unclosed spans: {} (truncated trace?)",
+                "{source}: stream ended with unclosed spans: {} ({truncation_hint})",
                 open.join(" > ")
             ));
         }
         if !saw_total {
             return Err(format!(
-                "{source}: missing ledger_total footer (truncated trace?)"
+                "{source}: missing ledger_total footer ({truncation_hint})"
             ));
         }
         // The ledger is derived from the same charges as the spans; any
@@ -609,6 +638,84 @@ pub fn analyze_files(paths: &[String]) -> Result<TraceReport, String> {
     Ok(report)
 }
 
+/// Parses `line` as a `counter` event named `name` and returns its
+/// integer value, or `None` for any other line.
+fn counter_value(line: &str, name: &str) -> Option<u64> {
+    let pairs = parse_flat_object(line).ok()?;
+    if field(&pairs, "ev").and_then(Scalar::as_str) != Some("counter") {
+        return None;
+    }
+    if field(&pairs, "name").and_then(Scalar::as_str) != Some(name) {
+        return None;
+    }
+    field(&pairs, "value").and_then(Scalar::as_u64)
+}
+
+/// Splices the ordered trace segments of a crashed-and-resumed run back
+/// into the uninterrupted run's stream (see the module docs). Each
+/// segment after the first must open with a `checkpoint_load` counter;
+/// its predecessor is cut just after the matching `checkpoint_save` (the
+/// crash tail — events emitted between the last save and the crash — is
+/// what gets dropped), and the load line itself is dropped because the
+/// kept save already occupies its sequence slot.
+///
+/// # Errors
+///
+/// A message naming the offending segment when it does not start with a
+/// `checkpoint_load`, or when no matching `checkpoint_save` seam exists
+/// in the accumulated prefix.
+pub fn stitch_streams(segments: &[(String, String)]) -> Result<String, String> {
+    if segments.is_empty() {
+        return Err("no trace segments to stitch".into());
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for (i, (source, text)) in segments.iter().enumerate() {
+        let mut lines = text.lines();
+        if i > 0 {
+            let first = lines
+                .by_ref()
+                .find(|l| !l.trim().is_empty())
+                .ok_or_else(|| format!("{source}: resumed segment is empty"))?;
+            let id = counter_value(first, "checkpoint_load").ok_or_else(|| {
+                format!(
+                    "{source}: resumed segment must start with a checkpoint_load \
+                     counter, found: {first}"
+                )
+            })?;
+            let seam = out
+                .iter()
+                .rposition(|l| counter_value(l, "checkpoint_save") == Some(id))
+                .ok_or_else(|| {
+                    format!(
+                        "{source}: no checkpoint_save id={id} seam in the preceding \
+                         segment(s) — these files are not consecutive segments of \
+                         one run"
+                    )
+                })?;
+            out.truncate(seam + 1);
+        }
+        out.extend(lines);
+    }
+    let mut text = out.join("\n");
+    text.push('\n');
+    Ok(text)
+}
+
+/// Reads ordered segment files and stitches them with [`stitch_streams`].
+///
+/// # Errors
+///
+/// I/O failures (with the offending path) and every [`stitch_streams`]
+/// error.
+pub fn stitch_files(paths: &[String]) -> Result<String, String> {
+    let mut segments = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        segments.push((path.clone(), text));
+    }
+    stitch_streams(&segments)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,6 +862,90 @@ mod tests {
         assert!(rendered.contains("(total)"));
         let json = report.to_json(Some(&params));
         assert!(json.contains("theory_term"));
+    }
+
+    /// An uninterrupted checkpointed stream, its crashed prefix (segment
+    /// 1: everything through the save plus a dangling "crash tail"
+    /// enter), and its resumed continuation (segment 2: a load in the
+    /// save's seq slot, then the rest).
+    fn checkpointed_run() -> (String, String, String) {
+        let buf = SharedBuffer::new();
+        let mut t = Tracer::new(Box::new(JsonlSink::new(buf.clone()))).without_timing();
+        t.enter(Stage::ApproxPart);
+        t.charge(10);
+        t.exit();
+        t.counter("checkpoint_save", 0u64);
+        t.enter(Stage::Learner);
+        t.charge(5);
+        t.exit();
+        t.finish();
+        let full = String::from_utf8(buf.contents()).unwrap();
+
+        let lines: Vec<&str> = full.lines().collect();
+        let save = lines
+            .iter()
+            .position(|l| l.contains("checkpoint_save"))
+            .unwrap();
+        let mut seg1: Vec<String> = lines[..=save].iter().map(|l| l.to_string()).collect();
+        // The crash tail: the learner span opened but the run died in it.
+        seg1.push(lines[save + 1].to_string());
+        let mut seg2 = vec![lines[save].replace("checkpoint_save", "checkpoint_load")];
+        seg2.extend(lines[save + 1..].iter().map(|l| l.to_string()));
+        (full, seg1.join("\n") + "\n", seg2.join("\n") + "\n")
+    }
+
+    #[test]
+    fn stitching_reproduces_the_uninterrupted_stream_bytewise() {
+        let (full, seg1, seg2) = checkpointed_run();
+        let stitched = stitch_streams(&[
+            ("seg1".to_string(), seg1),
+            ("seg2".to_string(), seg2),
+        ])
+        .unwrap();
+        assert_eq!(stitched, full);
+        // And the splice is a valid stream in its own right.
+        let mut report = TraceReport::new();
+        report.add_stream("stitched", &stitched).unwrap();
+        assert_eq!(report.total_samples, 15);
+    }
+
+    #[test]
+    fn stitching_rejects_non_consecutive_segments() {
+        let (_, seg1, seg2) = checkpointed_run();
+        // A resumed segment must announce itself with a load...
+        let err = stitch_streams(&[
+            ("a".to_string(), seg1.clone()),
+            ("b".to_string(), seg1.clone()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("checkpoint_load"), "{err}");
+        // ...and its load id must match a save in the prefix.
+        let wrong_id = seg2.replace("\"value\":0", "\"value\":7");
+        let err = stitch_streams(&[("a".to_string(), seg1), ("b".to_string(), wrong_id)])
+            .unwrap_err();
+        assert!(err.contains("seam"), "{err}");
+        assert!(stitch_streams(&[]).is_err());
+    }
+
+    #[test]
+    fn crashed_segment_is_diagnosed_as_resumable_not_corrupt() {
+        let (_, seg1, _) = checkpointed_run();
+        // Segment 1 ends mid-run (dangling enter, no footer): truncated,
+        // but the save it carries makes it resumable — and the report
+        // says so instead of calling the file corrupt.
+        let err = TraceReport::new().add_stream("seg1", &seg1).unwrap_err();
+        assert!(err.contains("resumable"), "{err}");
+        assert!(err.contains("checkpoint id 0"), "{err}");
+        assert!(err.contains("--stitch"), "{err}");
+        // The same truncation without any checkpoint stays "corrupt".
+        let plain: String = seg1
+            .lines()
+            .filter(|l| !l.contains("checkpoint_save"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = TraceReport::new().add_stream("plain", &plain).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        assert!(!err.contains("resumable"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! End-to-end smoke tests for the `fewbins` binary: every exit code in
-//! the documented scheme (`0` ok, `2` usage, `3` bad input, `4` samples
-//! exhausted, `5` inconclusive) is reachable, distinct, and paired with a
+//! the documented scheme (`0` ok, `1` internal/crash, `2` usage, `3` bad
+//! input incl. bad checkpoints, `4` samples exhausted, `5` inconclusive,
+//! `6` deadline exceeded) is reachable, distinct, and paired with a
 //! useful message.
 
 use std::path::PathBuf;
@@ -9,6 +10,16 @@ use std::process::{Command, Output};
 fn fewbins(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_fewbins"))
         .args(args)
+        .output()
+        .expect("failed to spawn fewbins")
+}
+
+/// Like [`fewbins`], but with timing stripped from trace output so two
+/// runs of the same logical stream are byte-comparable.
+fn fewbins_notiming(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fewbins"))
+        .args(args)
+        .env("FEWBINS_TRACE_NO_TIMING", "1")
         .output()
         .expect("failed to spawn fewbins")
 }
@@ -238,6 +249,168 @@ fn report_subcommand_summarizes_a_trace() {
     let garbage = write_tmp("report_garbage", "not json\n");
     let out = fewbins(&["report", garbage.to_str().unwrap()]);
     assert_eq!(code(&out), 3, "{}", stderr(&out));
+}
+
+#[test]
+fn crash_then_resume_reproduces_the_uninterrupted_run() {
+    // The tentpole guarantee, driven through the real binary: a run
+    // killed by an injected crash and resumed from its checkpoint must
+    // reproduce the uninterrupted run's decision line exactly, and the
+    // two trace segments must stitch back to the uninterrupted trace
+    // byte for byte.
+    let data = dataset("recovery");
+    let data = data.to_str().unwrap();
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let full_trace = tmp.join(format!("fewbins_smoke_{pid}_full.jsonl"));
+    let full_ckpt = tmp.join(format!("fewbins_smoke_{pid}_full.ckpt"));
+    let seg1 = tmp.join(format!("fewbins_smoke_{pid}_seg1.jsonl"));
+    let seg2 = tmp.join(format!("fewbins_smoke_{pid}_seg2.jsonl"));
+    let ckpt = tmp.join(format!("fewbins_smoke_{pid}_crash.ckpt"));
+    let stitched = tmp.join(format!("fewbins_smoke_{pid}_stitched.jsonl"));
+
+    // Uninterrupted baseline. `--faults none` keeps the (transparent)
+    // fault layer and its trace counters in place, so the crashed+resumed
+    // pair below emits the identical stream shape.
+    let base = fewbins_notiming(&[
+        "test", "--n", "30", "--k", "2", "--faults", "none",
+        "--checkpoint", full_ckpt.to_str().unwrap(),
+        "--trace", full_trace.to_str().unwrap(),
+        data,
+    ]);
+    assert_eq!(code(&base), 0, "{}", stderr(&base));
+
+    // The same run killed mid-flight: exit 1 with a resume hint.
+    let crash = fewbins_notiming(&[
+        "test", "--n", "30", "--k", "2", "--faults", "crash=400000",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        "--trace", seg1.to_str().unwrap(),
+        data,
+    ]);
+    assert_eq!(code(&crash), 1, "{}", stderr(&crash));
+    assert!(stderr(&crash).contains("simulated crash"), "{}", stderr(&crash));
+    assert!(stderr(&crash).contains("--resume"), "{}", stderr(&crash));
+
+    // Resume from the crash checkpoint (same --faults spec; the crash
+    // trigger is stripped on resume): identical decision line.
+    let resume = fewbins_notiming(&[
+        "test", "--n", "30", "--k", "2", "--faults", "crash=400000",
+        "--resume", "--checkpoint", ckpt.to_str().unwrap(),
+        "--trace", seg2.to_str().unwrap(),
+        data,
+    ]);
+    assert_eq!(code(&resume), 0, "{}", stderr(&resume));
+    assert!(stderr(&resume).contains("resuming from"), "{}", stderr(&resume));
+    assert_eq!(stdout(&resume), stdout(&base));
+
+    // Stitch the two segments at their checkpoint seam: byte-identical
+    // to the uninterrupted trace.
+    let stitch = fewbins(&[
+        "report", "--stitch",
+        "--stitch-out", stitched.to_str().unwrap(),
+        seg1.to_str().unwrap(),
+        seg2.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&stitch), 0, "{}", stderr(&stitch));
+    let stitched_bytes = std::fs::read(&stitched).expect("stitched trace written");
+    let full_bytes = std::fs::read(&full_trace).expect("baseline trace written");
+    assert_eq!(stitched_bytes, full_bytes, "stitched trace differs from uninterrupted run");
+}
+
+#[test]
+fn bad_checkpoints_exit_three_with_typed_messages() {
+    // Every checkpoint failure mode must refuse with exit 3 and a typed
+    // message — never a panic (exit 1), never a silent from-scratch
+    // restart (exit 0 with a full re-run).
+    let data = dataset("badckpt");
+    let data = data.to_str().unwrap();
+    let ckpt = std::env::temp_dir().join(format!("fewbins_smoke_{}_bad.ckpt", std::process::id()));
+
+    // A crashed run leaves a genuine checkpoint behind to damage.
+    let crash = fewbins(&[
+        "test", "--n", "30", "--k", "2", "--faults", "crash=400000",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        data,
+    ]);
+    assert_eq!(code(&crash), 1, "{}", stderr(&crash));
+    let good = std::fs::read_to_string(&ckpt).expect("crash left a checkpoint");
+
+    let resume_with = |name: &str, contents: &str, k: &str| {
+        let bad = write_tmp(name, contents);
+        fewbins(&[
+            "test", "--n", "30", "--k", k,
+            "--resume", "--checkpoint", bad.to_str().unwrap(),
+            data,
+        ])
+    };
+
+    // Corrupt: payload edited, checksum stale.
+    let out = resume_with("ckpt_corrupt", &good.replace("\nid ", "\nid 9"), "2");
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("corrupt"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("crc mismatch"), "{}", stderr(&out));
+
+    // Truncated: the `end` terminator never made it to disk.
+    let cut: String = good.lines().take(5).map(|l| format!("{l}\n")).collect();
+    let out = resume_with("ckpt_trunc", &cut, "2");
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("truncated"), "{}", stderr(&out));
+
+    // Version mismatch: written by a different format version.
+    let out = resume_with(
+        "ckpt_version",
+        &good.replace("fewbins-checkpoint v1", "fewbins-checkpoint v9"),
+        "2",
+    );
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("version mismatch"), "{}", stderr(&out));
+
+    // Params mismatch: a valid checkpoint from a different run (--k 3
+    // here vs --k 2 at save time) must refuse to seed this one.
+    let out = resume_with("ckpt_params", &good, "3");
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("different run"), "{}", stderr(&out));
+}
+
+#[test]
+fn deadline_zero_exits_six_and_reports_deadline_exceeded() {
+    // A whole-run deadline of 0 ms must trip on the first supervised
+    // draw: structured INCONCLUSIVE on stdout, dedicated exit code 6.
+    let data = dataset("deadline");
+    let out = fewbins(&[
+        "test", "--n", "30", "--k", "2", "--deadline-ms", "0",
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 6, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("INCONCLUSIVE"), "{text}");
+    assert!(text.contains("deadline exceeded"), "{text}");
+}
+
+#[test]
+fn crashed_trace_segment_is_diagnosed_resumable() {
+    // `fewbins report` on a crashed run's lone segment must say the
+    // truncation is resumable (a checkpoint was saved) and point at
+    // --stitch — not call the stream corrupt.
+    let data = dataset("resumable");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let ckpt = tmp.join(format!("fewbins_smoke_{pid}_resumable.ckpt"));
+    let seg = tmp.join(format!("fewbins_smoke_{pid}_resumable.jsonl"));
+    let crash = fewbins(&[
+        "test", "--n", "30", "--k", "2", "--faults", "crash=400000",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        "--trace", seg.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&crash), 1, "{}", stderr(&crash));
+
+    let out = fewbins(&["report", seg.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("resumable"), "{err}");
+    assert!(err.contains("--stitch"), "{err}");
+    assert!(err.contains("checkpoint id"), "{err}");
 }
 
 #[test]
